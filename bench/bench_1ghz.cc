@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment E6 (Section 5.2 sensitivity): 1 GHz processors with all
+ * memory and interconnect parameters unchanged in ns/MHz. The paper
+ * reports similar total reductions (5-36% multi avg 21%; 12-50% uni
+ * avg 33%) with a larger share coming from memory parallelism.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+    const auto config = sys::oneGHzConfig();
+
+    std::fprintf(stderr, "uniprocessor 1 GHz runs...\n");
+    auto [uni_names, uni] =
+        bench::runApps(bench::allAppNames(), config, false, size);
+    std::printf("%s\n",
+                harness::formatFig3(
+                    uni_names, uni,
+                    "E6: uniprocessor at 1 GHz "
+                    "(paper: 12-50% reduction, avg 33%)")
+                    .c_str());
+
+    std::fprintf(stderr, "multiprocessor 1 GHz runs...\n");
+    auto [multi_names, multi] =
+        bench::runApps(bench::allAppNames(), config, true, size);
+    std::printf("%s\n",
+                harness::formatFig3(
+                    multi_names, multi,
+                    "E6: multiprocessor at 1 GHz "
+                    "(paper: 5-36% reduction, avg 21%)")
+                    .c_str());
+    return 0;
+}

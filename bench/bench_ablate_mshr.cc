@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation A3: sensitivity to lp (the number of MSHRs, the hardware
+ * resource the transformations aim to fill). The clustered speedup
+ * should grow with the MSHR count until another resource (banks, bus)
+ * saturates — the bottleneck the paper identifies for Latbench.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+    std::printf("=== A3: MSHR-count (lp) sweep, Latbench and LU "
+                "(uniprocessor) ===\n\n");
+    for (const char *name : {"latbench", "lu"}) {
+        const auto w = workloads::makeByName(name, size);
+        std::printf("%s:\n", name);
+        for (int mshrs : {1, 2, 4, 8, 10, 16}) {
+            std::fprintf(stderr, "  %s mshrs=%d...\n", name, mshrs);
+            auto config = sys::baseConfig();
+            config.hier.l1.numMshrs = mshrs;
+            config.hier.l2.numMshrs = mshrs;
+            const auto pair = harness::runPair(w, config, 1);
+            std::printf("  lp=%-2d  base %9llu  clust %9llu  "
+                        "(%5.1f%% reduction)\n",
+                        mshrs,
+                        (unsigned long long)pair.base.result.cycles,
+                        (unsigned long long)pair.clust.result.cycles,
+                        pair.reductionPct());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: scale selection via
+ * the MPC_SCALE environment variable (1 = quick, 2 = default paper-
+ * shape runs, 3 = large), and run helpers with progress output.
+ */
+
+#ifndef MPC_BENCH_COMMON_HH
+#define MPC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace mpc::bench
+{
+
+inline workloads::SizeParams
+scaleFromEnv()
+{
+    workloads::SizeParams size;
+    size.scale = 2;
+    if (const char *env = std::getenv("MPC_SCALE"))
+        size.scale = std::atoi(env);
+    if (size.scale < 1 || size.scale > 3)
+        size.scale = 2;
+    return size;
+}
+
+/** Run base+clust for each named app and collect the pairs. */
+inline std::pair<std::vector<std::string>,
+                 std::vector<harness::PairResult>>
+runApps(const std::vector<std::string> &names,
+        const sys::SystemConfig &config, bool multiprocessor,
+        const workloads::SizeParams &size)
+{
+    std::vector<std::string> used;
+    std::vector<harness::PairResult> pairs;
+    for (const auto &name : names) {
+        const auto w = workloads::makeByName(name, size);
+        const int procs = multiprocessor ? w.defaultProcs : 1;
+        if (procs == 0)
+            continue;   // uniprocessor-only app in a multi experiment
+        std::fprintf(stderr, "  running %s (%d proc%s)...\n",
+                     name.c_str(), std::max(procs, 1),
+                     procs > 1 ? "s" : "");
+        pairs.push_back(harness::runPair(w, config, procs));
+        used.push_back(name + (procs > 1
+                                   ? "/" + std::to_string(procs) + "p"
+                                   : ""));
+    }
+    return {used, pairs};
+}
+
+inline const std::vector<std::string> &
+allAppNames()
+{
+    static const std::vector<std::string> names{
+        "em3d", "erlebacher", "fft", "lu", "mp3d", "mst", "ocean"};
+    return names;
+}
+
+} // namespace mpc::bench
+
+#endif // MPC_BENCH_COMMON_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Experiment E2 (Figure 3(a)): multiprocessor normalized execution
+ * time with the Instr/Sync/CPU/Data breakdown, base vs clustered, for
+ * the six multiprocessor applications. The paper reports 5-39%
+ * execution-time reductions averaging 20%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+    auto [names, pairs] = bench::runApps(bench::allAppNames(),
+                                         sys::baseConfig(), true, size);
+    std::printf("%s\n",
+                harness::formatFig3(
+                    names, pairs,
+                    "E2 / Figure 3(a): multiprocessor execution time "
+                    "(paper: 5-39% reduction, avg 20%)")
+                    .c_str());
+    for (size_t i = 0; i < names.size(); ++i)
+        std::printf("%s",
+                    harness::formatDriverSummary(names[i],
+                                                 pairs[i].clust.report)
+                        .c_str());
+    return 0;
+}

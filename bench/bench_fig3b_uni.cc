@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Experiment E3 (Figure 3(b)): uniprocessor normalized execution time
+ * with the Instr/Sync/CPU/Data breakdown, base vs clustered, for all
+ * seven applications. The paper reports 11-49% reductions averaging
+ * 30%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+    auto [names, pairs] = bench::runApps(bench::allAppNames(),
+                                         sys::baseConfig(), false, size);
+    std::printf("%s\n",
+                harness::formatFig3(
+                    names, pairs,
+                    "E3 / Figure 3(b): uniprocessor execution time "
+                    "(paper: 11-49% reduction, avg 30%)")
+                    .c_str());
+    for (size_t i = 0; i < names.size(); ++i)
+        std::printf("%s",
+                    harness::formatDriverSummary(names[i],
+                                                 pairs[i].clust.report)
+                        .c_str());
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Experiment E5 (Figure 4): L2 MSHR utilization for the multiprocessor
+ * runs of Ocean and LU, the paper's two extremes. (a) plots the
+ * fraction of time at least N MSHRs are occupied by read misses;
+ * (b) the same for total (read + write) occupancy. The paper's shape:
+ * the transformations barely move Ocean (its base already clusters
+ * some) but convert LU from almost-never >1 outstanding read miss to
+ * 2+ outstanding 20% of the time and up to 9 at times.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+
+    const auto ocean = workloads::makeOcean(size);
+    std::fprintf(stderr, "running ocean (%d procs)...\n",
+                 ocean.defaultProcs);
+    const auto ocean_pair =
+        harness::runPair(ocean, sys::baseConfig(), ocean.defaultProcs);
+
+    const auto lu = workloads::makeLu(size);
+    std::fprintf(stderr, "running lu (%d procs)...\n", lu.defaultProcs);
+    const auto lu_pair =
+        harness::runPair(lu, sys::baseConfig(), lu.defaultProcs);
+
+    std::vector<std::string> labels{"Ocean", "Ocean(clust)", "LU",
+                                    "LU(clust)"};
+    std::vector<const sys::RunResult *> runs{
+        &ocean_pair.base.result, &ocean_pair.clust.result,
+        &lu_pair.base.result, &lu_pair.clust.result};
+    std::printf("%s",
+                harness::formatFig4(
+                    labels, runs,
+                    "E5 / Figure 4: L2 MSHR utilization (multiprocessor "
+                    "Ocean and LU)")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation A5 (Sections 1 and 6): software prefetching vs read-miss
+ * clustering vs their combination. The paper argues prefetching is
+ * less effective on ILP processors (late prefetches, contention) and
+ * its follow-up shows clustering improves prefetching by cutting the
+ * number of prefetch instructions and spreading bursts; this bench
+ * measures all four variants on the regular applications.
+ */
+
+#include "bench_common.hh"
+
+#include "codegen/codegen.hh"
+#include "harness/profiler.hh"
+#include "transform/driver.hh"
+#include "transform/transforms.hh"
+
+namespace
+{
+
+using namespace mpc;
+
+Tick
+runVariant(const workloads::Workload &w, bool cluster, bool prefetch,
+           int distance)
+{
+    ir::Kernel kernel = w.kernel.clone();
+    std::set<std::uint32_t> leading;
+    if (cluster) {
+        kisa::MemoryImage scratch;
+        w.init(scratch);
+        const auto base_prog = codegen::lower(kernel);
+        mem::CacheConfig geometry;
+        geometry.sizeBytes = w.l2Bytes;
+        geometry.assoc = 4;
+        const auto profile = harness::CacheProfile::measure(
+            base_prog, scratch, geometry);
+        transform::DriverParams params;
+        params.lp = 10;
+        params.bodySize = codegen::loweredBodySize;
+        params.missRate = [&profile](int id) {
+            return profile.missRate(id);
+        };
+        const auto report = transform::applyClustering(kernel, params);
+        for (int id : report.leadingRefIds)
+            leading.insert(static_cast<std::uint32_t>(id));
+    }
+    if (prefetch)
+        transform::insertPrefetches(kernel, distance);
+
+    auto programs = codegen::lowerForCores(kernel, 1, cluster, leading);
+    kisa::MemoryImage image;
+    w.init(image);
+    auto config = harness::scaleConfig(sys::baseConfig(), w);
+    sys::System system(config, std::move(programs), image);
+    return system.run().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto size = bench::scaleFromEnv();
+    const int distance = 4;   // lines ahead
+    std::printf("=== A5: prefetching vs clustering (uniprocessor, "
+                "prefetch distance %d lines) ===\n\n",
+                distance);
+    for (const char *name : {"erlebacher", "lu", "ocean", "em3d"}) {
+        const auto w = workloads::makeByName(name, size);
+        std::fprintf(stderr, "running %s variants...\n", name);
+        const Tick none = runVariant(w, false, false, distance);
+        const Tick pf = runVariant(w, false, true, distance);
+        const Tick cl = runVariant(w, true, false, distance);
+        const Tick both = runVariant(w, true, true, distance);
+        auto pct = [none](Tick t) {
+            return (1.0 - double(t) / double(none)) * 100.0;
+        };
+        std::printf("%s:\n", name);
+        std::printf("  base              %9llu cycles\n",
+                    (unsigned long long)none);
+        std::printf("  prefetch only     %9llu cycles  (%5.1f%%)\n",
+                    (unsigned long long)pf, pct(pf));
+        std::printf("  clustering only   %9llu cycles  (%5.1f%%)\n",
+                    (unsigned long long)cl, pct(cl));
+        std::printf("  both              %9llu cycles  (%5.1f%%)\n\n",
+                    (unsigned long long)both, pct(both));
+    }
+    return 0;
+}

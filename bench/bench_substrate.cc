@@ -1,0 +1,120 @@
+/**
+ * @file
+ * P1: google-benchmark microbenchmarks of the simulator substrate
+ * itself — how fast the host simulates the core, caches, and compiler
+ * passes. These guard against performance regressions in the simulator
+ * (a slow simulator caps the experiment sizes everything else uses).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analysis.hh"
+#include "codegen/codegen.hh"
+#include "kisa/interp.hh"
+#include "system/system.hh"
+#include "transform/driver.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace mpc;
+
+kisa::Program
+streamProgram(int iters)
+{
+    kisa::AsmBuilder b("stream");
+    const kisa::Reg r_i = 1, r_n = 2, r_base = 3;
+    b.iLoadImm(r_i, 0);
+    b.iLoadImm(r_n, iters);
+    b.iLoadImm(r_base, 0x100000);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.ldF(10, r_base, 0);
+    b.fAdd(11, 11, 10);
+    b.iAddImm(r_base, r_base, 64);
+    b.iAddImm(r_i, r_i, 1);
+    b.bLt(r_i, r_n, loop);
+    b.halt();
+    return b.finish();
+}
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    const auto program = streamProgram(10000);
+    for (auto _ : state) {
+        kisa::MemoryImage mem;
+        kisa::Interpreter interp(mem);
+        interp.addCore(program);
+        benchmark::DoNotOptimize(interp.run(1u << 26));
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        kisa::MemoryImage mem;
+        std::vector<kisa::Program> programs;
+        programs.push_back(streamProgram(4000));
+        sys::System system(sys::baseConfig(), std::move(programs), mem);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(system.run().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void
+BM_AnalysisPass(benchmark::State &state)
+{
+    workloads::SizeParams size;
+    size.scale = 1;
+    auto w = workloads::makeOcean(size);
+    analysis::AnalysisParams params;
+    for (auto _ : state) {
+        auto nests = analysis::findLoopNests(w.kernel);
+        for (auto &nest : nests) {
+            benchmark::DoNotOptimize(
+                analysis::analyzeInnerLoop(w.kernel, nest, params));
+        }
+    }
+}
+BENCHMARK(BM_AnalysisPass);
+
+void
+BM_ClusteringDriver(benchmark::State &state)
+{
+    workloads::SizeParams size;
+    size.scale = 1;
+    const auto w = workloads::makeOcean(size);
+    transform::DriverParams params;
+    params.bodySize = codegen::loweredBodySize;
+    for (auto _ : state) {
+        ir::Kernel kernel = w.kernel.clone();
+        benchmark::DoNotOptimize(
+            transform::applyClustering(kernel, params));
+    }
+}
+BENCHMARK(BM_ClusteringDriver);
+
+void
+BM_Codegen(benchmark::State &state)
+{
+    workloads::SizeParams size;
+    size.scale = 1;
+    const auto w = workloads::makeMp3d(size);
+    codegen::CodegenOptions options;
+    options.clusteredSchedule = true;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codegen::lower(w.kernel, options));
+}
+BENCHMARK(BM_Codegen);
+
+} // namespace
+
+BENCHMARK_MAIN();

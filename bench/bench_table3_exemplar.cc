@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Experiment E4 (Table 3): percent execution time reduced on the
+ * Convex Exemplar substitute configuration (180 MHz PA-8000-like
+ * cores, single-level cache, 32-byte lines, shared bus, skewed bank
+ * interleaving), uniprocessor and multiprocessor. The paper reports
+ * 9-38% reductions for 6 of 7 applications, with multiprocessor Ocean
+ * degrading about 3%.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mpc;
+    const auto size = bench::scaleFromEnv();
+    const auto config = sys::exemplarConfig();
+
+    std::fprintf(stderr, "multiprocessor runs...\n");
+    auto [multi_names, multi] =
+        bench::runApps(bench::allAppNames(), config, true, size);
+    std::fprintf(stderr, "uniprocessor runs...\n");
+    auto [names, uni] =
+        bench::runApps(bench::allAppNames(), config, false, size);
+
+    std::printf("%s\n",
+                harness::formatReductionTable(
+                    multi_names, multi, "multiprocessor",
+                    "E4 / Table 3 (multiprocessor, Exemplar-like): "
+                    "% execution time reduced")
+                    .c_str());
+    std::printf("%s\n",
+                harness::formatReductionTable(
+                    names, uni, "uniprocessor",
+                    "E4 / Table 3 (uniprocessor, Exemplar-like): "
+                    "% execution time reduced "
+                    "(paper: 9-38% for 6 of 7 apps)")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pointer-chase latency demo: reproduces the paper's Latbench story
+ * interactively. A lat_mem_rd-style dependent chase serializes every
+ * miss; unroll-and-jamming the outer chain loop overlaps lp of them.
+ * Prints per-miss latency for several jam degrees — the knee appears
+ * where bank bandwidth, not the MSHR count, becomes the bottleneck
+ * (Section 5.1's observation).
+ *
+ * Build & run:  ./build/examples/pointer_chase
+ */
+
+#include <cstdio>
+
+#include "codegen/codegen.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace mpc;
+
+int
+main()
+{
+    workloads::SizeParams size;
+    size.scale = 1;
+    const auto w = workloads::makeLatbench(size);
+    const double misses = 10.0 * 64.0;   // chains * length at scale 1
+
+    std::printf("degree  cycles    stall/miss (ns)  speedup\n");
+    std::printf("-------------------------------------------\n");
+    double base_stall = 0.0;
+    for (int degree : {1, 2, 4, 8, 10, 16}) {
+        harness::RunSpec spec;
+        spec.clustered = degree > 1;
+        spec.maxUnroll = degree;
+        const auto run = harness::runWorkload(w, spec);
+        const double stall =
+            run.result.dataComponent() / misses * 2.0;  // ns at 500 MHz
+        if (degree == 1)
+            base_stall = stall;
+        std::printf("%-6d  %8llu  %15.1f  %6.2fx\n", degree,
+                    (unsigned long long)run.result.cycles, stall,
+                    base_stall / stall);
+    }
+    std::printf("\nThe paper measures 171 -> 32 ns (5.34x) with 10 "
+                "MSHRs; the speedup\nsaturates below 10x because bus "
+                "and bank utilization approach their\nlimits, exactly "
+                "as Section 5.1 reports.\n");
+    return 0;
+}

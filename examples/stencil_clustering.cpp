@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stencil clustering demo: the Ocean-style 5-point stencil, showing
+ * the paper's key tension — a loop whose base version already enjoys
+ * some clustering (the j-1/j+1 rows are different cache lines) gains
+ * the least from the transformations. Compares the stencil against the
+ * single-stream sweep, printing the analysis and the execution-time
+ * breakdowns side by side.
+ *
+ * Build & run:  ./build/examples/stencil_clustering
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace mpc;
+
+int
+main()
+{
+    workloads::SizeParams size;
+    size.scale = 2;
+
+    // Ocean: 5-point stencil (partially clustered base).
+    const auto ocean = workloads::makeOcean(size);
+    std::printf("running ocean (base + clustered)...\n");
+    const auto ocean_pair =
+        harness::runPair(ocean, sys::baseConfig(), 1);
+
+    // Erlebacher: unit-stride sweeps (fully serialized base).
+    const auto erle = workloads::makeErlebacher(size);
+    std::printf("running erlebacher (base + clustered)...\n");
+    const auto erle_pair = harness::runPair(erle, sys::baseConfig(), 1);
+
+    std::vector<std::string> names{"ocean", "erlebacher"};
+    std::vector<harness::PairResult> pairs;
+    pairs.push_back(ocean_pair);
+    pairs.push_back(erle_pair);
+    std::printf("\n%s\n",
+                harness::formatFig3(
+                    names, pairs,
+                    "stencil (partially clustered base) vs sweep "
+                    "(serialized base)")
+                    .c_str());
+    std::printf("%s%s\nThe sweep gains more: its base had no memory "
+                "parallelism to start\nwith, while the stencil's "
+                "neighboring-row accesses already overlap —\nthe "
+                "paper's explanation for Ocean's small benefit.\n",
+                harness::formatDriverSummary("ocean",
+                                             pairs[0].clust.report)
+                    .c_str(),
+                harness::formatDriverSummary("erlebacher",
+                                             pairs[1].clust.report)
+                    .c_str());
+    return 0;
+}

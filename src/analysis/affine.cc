@@ -1,0 +1,126 @@
+#include "analysis/affine.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::analysis
+{
+
+std::optional<std::int64_t>
+constEval(const ir::Expr &expr)
+{
+    using K = ir::Expr::Kind;
+    switch (expr.kind) {
+      case K::IntConst:
+        return expr.ival;
+      case K::Bin: {
+        const auto a = constEval(*expr.children[0]);
+        const auto b = constEval(*expr.children[1]);
+        if (!a || !b)
+            return std::nullopt;
+        switch (expr.bop) {
+          case ir::BinOp::Add: return *a + *b;
+          case ir::BinOp::Sub: return *a - *b;
+          case ir::BinOp::Mul: return *a * *b;
+          case ir::BinOp::Div: return *b != 0
+                ? std::optional<std::int64_t>(*a / *b) : std::nullopt;
+          case ir::BinOp::Mod: return *b != 0
+                ? std::optional<std::int64_t>(*a % *b) : std::nullopt;
+          case ir::BinOp::Min: return std::min(*a, *b);
+          case ir::BinOp::Max: return std::max(*a, *b);
+        }
+        return std::nullopt;
+      }
+      case K::Un:
+        if (expr.uop == ir::UnOp::Neg) {
+            const auto a = constEval(*expr.children[0]);
+            if (a)
+                return -*a;
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<AffineForm>
+affineOf(const ir::Expr &expr)
+{
+    using K = ir::Expr::Kind;
+    AffineForm form;
+    switch (expr.kind) {
+      case K::IntConst:
+        form.c = expr.ival;
+        return form;
+      case K::VarRef:
+        form.coefs[expr.var] = 1;
+        return form;
+      case K::Bin: {
+        if (expr.bop == ir::BinOp::Add || expr.bop == ir::BinOp::Sub) {
+            auto a = affineOf(*expr.children[0]);
+            auto b = affineOf(*expr.children[1]);
+            if (!a || !b)
+                return std::nullopt;
+            if (expr.bop == ir::BinOp::Sub)
+                *b *= -1;
+            *a += *b;
+            return a;
+        }
+        if (expr.bop == ir::BinOp::Mul) {
+            // One side must be a compile-time constant.
+            const auto ka = constEval(*expr.children[0]);
+            const auto kb = constEval(*expr.children[1]);
+            if (ka) {
+                auto b = affineOf(*expr.children[1]);
+                if (!b)
+                    return std::nullopt;
+                *b *= *ka;
+                return b;
+            }
+            if (kb) {
+                auto a = affineOf(*expr.children[0]);
+                if (!a)
+                    return std::nullopt;
+                *a *= *kb;
+                return a;
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+      }
+      case K::Un:
+        if (expr.uop == ir::UnOp::Neg) {
+            auto a = affineOf(*expr.children[0]);
+            if (!a)
+                return std::nullopt;
+            *a *= -1;
+            return a;
+        }
+        return std::nullopt;
+      default:
+        // Memory references, float constants: not affine.
+        return std::nullopt;
+    }
+}
+
+std::optional<AffineForm>
+linearIndexForm(const ir::Expr &array_ref)
+{
+    MPC_ASSERT(array_ref.kind == ir::Expr::Kind::ArrayRef,
+               "linearIndexForm needs an ArrayRef");
+    const ir::Array &array = *array_ref.array;
+    AffineForm total;
+    std::int64_t row_stride = 1;
+    // Row-major: last dimension contiguous; accumulate from the last
+    // subscript backwards.
+    for (size_t d = array.dims.size(); d-- > 0;) {
+        auto sub = affineOf(*array_ref.children[d]);
+        if (!sub)
+            return std::nullopt;
+        *sub *= row_stride;
+        total += *sub;
+        row_stride *= array.dims[d];
+    }
+    return total;
+}
+
+} // namespace mpc::analysis

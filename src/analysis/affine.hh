@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Affine-form extraction for subscript expressions: rewrite an integer
+ * expression as sum(coef_v * v) + c over variables. Used by the
+ * locality analysis (strides, spatial groups) and the dependence tests.
+ */
+
+#ifndef MPC_ANALYSIS_AFFINE_HH
+#define MPC_ANALYSIS_AFFINE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/kernel.hh"
+
+namespace mpc::analysis
+{
+
+/**
+ * An affine combination of variables plus a constant. Variables may be
+ * loop indices or symbolic scalars — what matters for locality is which
+ * coefficients differ between two references.
+ */
+struct AffineForm
+{
+    std::map<std::string, std::int64_t> coefs;
+    std::int64_t c = 0;
+
+    /** Coefficient of @p var (0 if absent). */
+    std::int64_t
+    coef(const std::string &var) const
+    {
+        const auto it = coefs.find(var);
+        return it == coefs.end() ? 0 : it->second;
+    }
+
+    /** True if the two forms have identical coefficients (possibly
+     *  different constants). */
+    bool
+    sameShape(const AffineForm &other) const
+    {
+        // Compare ignoring zero entries.
+        auto nonzero = [](const AffineForm &f) {
+            std::map<std::string, std::int64_t> m;
+            for (const auto &[v, k] : f.coefs)
+                if (k != 0)
+                    m[v] = k;
+            return m;
+        };
+        return nonzero(*this) == nonzero(other);
+    }
+
+    AffineForm &
+    operator+=(const AffineForm &other)
+    {
+        for (const auto &[v, k] : other.coefs)
+            coefs[v] += k;
+        c += other.c;
+        return *this;
+    }
+
+    AffineForm &
+    operator*=(std::int64_t scale)
+    {
+        for (auto &[v, k] : coefs)
+            k *= scale;
+        c *= scale;
+        return *this;
+    }
+};
+
+/**
+ * Try to express @p expr as an affine form. Returns nullopt when the
+ * expression is not affine (contains memory references, divisions, or
+ * products of two variables) — such subscripts make the reference
+ * irregular.
+ */
+std::optional<AffineForm> affineOf(const ir::Expr &expr);
+
+/** Evaluate @p expr if it is a compile-time integer constant. */
+std::optional<std::int64_t> constEval(const ir::Expr &expr);
+
+/**
+ * Linearized element-index form of an ArrayRef: the row-major index as
+ * an affine form over variables. nullopt if any subscript is
+ * non-affine.
+ */
+std::optional<AffineForm> linearIndexForm(const ir::Expr &array_ref);
+
+} // namespace mpc::analysis
+
+#endif // MPC_ANALYSIS_AFFINE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The paper's memory-parallelism analysis (Section 3).
+ *
+ * For an innermost loop, this pass:
+ *  1. collects memory references and classifies them regular/irregular;
+ *  2. runs locality analysis: spatial reference groups, leading
+ *     references, inner-loop self-spatial locality (L_m);
+ *  3. builds the memory-parallelism dependence graph with cache-line
+ *     and address dependence edges (with iteration distances);
+ *  4. finds recurrences (SCCs), classifies them cache-line vs address,
+ *     and computes alpha = max R / iota;
+ *  5. estimates per-iteration memory parallelism f = f_reg + f_irreg
+ *     via C_m = ceil(W / (i * L_m)) (Equations 1-4), accounting for
+ *     dynamic inner-loop unrolling by the instruction window and for
+ *     irregular miss rates P_m.
+ */
+
+#ifndef MPC_ANALYSIS_ANALYSIS_HH
+#define MPC_ANALYSIS_ANALYSIS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/affine.hh"
+#include "ir/kernel.hh"
+
+namespace mpc::analysis
+{
+
+/** Chain of loops from outermost to the innermost loop under analysis. */
+struct NestPath
+{
+    std::vector<ir::Stmt *> loops;
+
+    ir::Stmt *inner() const { return loops.back(); }
+    ir::Stmt *outer(int levels_up = 1) const
+    {
+        const int idx = static_cast<int>(loops.size()) - 1 - levels_up;
+        return idx >= 0 ? loops[static_cast<size_t>(idx)] : nullptr;
+    }
+    int depth() const { return static_cast<int>(loops.size()); }
+};
+
+/** All innermost loops of a kernel with their enclosing loop chains. */
+std::vector<NestPath> findLoopNests(ir::Kernel &kernel);
+
+/** One classified memory reference. */
+struct RefInfo
+{
+    const ir::Expr *expr = nullptr;     ///< ArrayRef or Deref
+    int refId = -1;
+    bool isWrite = false;
+    bool regular = false;               ///< affine ArrayRef
+    AffineForm index;                   ///< element-index form (regular)
+    std::int64_t strideBytes = 0;       ///< wrt the inner loop var
+    bool innerInvariant = false;        ///< stride 0 (temporal reuse)
+    // Locality results:
+    bool leading = false;               ///< can miss (group leader)
+    int groupLeader = -1;               ///< index of this ref's leader
+    std::int64_t lm = 1;                ///< iterations per cache line
+};
+
+/** A dependence edge in the memory-parallelism graph. */
+struct DepEdge
+{
+    int from = -1;                      ///< RefInfo index
+    int to = -1;
+    bool isAddress = false;             ///< else cache-line
+    std::int64_t distance = 0;          ///< inner-loop iterations
+};
+
+/** A recurrence (a non-trivial SCC of the dependence graph). */
+struct Recurrence
+{
+    std::vector<int> refs;              ///< RefInfo indices in the SCC
+    bool isAddress = false;             ///< contains an address edge
+    int numLeading = 0;                 ///< R: leading refs in the SCC
+    std::int64_t iota = 1;              ///< iterations around the cycle
+    double alpha() const
+    {
+        return static_cast<double>(numLeading) /
+               static_cast<double>(std::max<std::int64_t>(iota, 1));
+    }
+};
+
+/** Tunables and environment for the analysis. */
+struct AnalysisParams
+{
+    int windowSize = 64;        ///< W
+    int lp = 10;                ///< simultaneous outstanding misses
+    int lineBytes = 64;
+
+    /**
+     * Static instruction count of one inner-loop iteration (the `i`
+     * parameter). Supplied by the code generator; a crude default
+     * estimator is used when absent. Receives the kernel owning the
+     * loop (the lowering needs its arrays and scalar types).
+     */
+    std::function<int(const ir::Kernel &, const ir::Stmt &inner)> bodySize;
+
+    /** Measured miss rate P_m per refId for irregular references
+     *  (cache profiling); defaults to 1.0. */
+    std::function<double(int ref_id)> missRate;
+};
+
+/** Complete analysis result for one innermost loop. */
+struct LoopAnalysis
+{
+    std::vector<RefInfo> refs;
+    std::vector<DepEdge> edges;
+    std::vector<Recurrence> recurrences;
+
+    bool hasAddressRecurrence = false;
+    bool hasCacheLineRecurrence = false;
+    double alpha = 0.0;         ///< max over recurrences (0 if none)
+
+    int bodyInstrs = 0;         ///< i
+    int dynUnroll = 1;          ///< ceil(W / i)
+
+    double freg = 0.0;
+    double firregRaw = 0.0;     ///< sum P_m * C_m before rounding
+    int firreg = 0;
+    double f = 0.0;             ///< Equation 2
+
+    /** Number of leading references. */
+    int numLeading() const;
+
+    std::string toString() const;
+};
+
+/** Analyze the innermost loop of @p nest within @p kernel. */
+LoopAnalysis analyzeInnerLoop(const ir::Kernel &kernel,
+                              const NestPath &nest,
+                              const AnalysisParams &params);
+
+/**
+ * Fallback body-size estimator: counts IR operations (memory refs,
+ * arithmetic nodes, loop overhead) as a proxy for lowered instruction
+ * count. The driver normally wires the real codegen-based counter.
+ */
+int estimateBodySize(const ir::Stmt &inner);
+
+} // namespace mpc::analysis
+
+#endif // MPC_ANALYSIS_ANALYSIS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic convention:
+ * fatal() for user errors (bad configuration), panic() for internal bugs.
+ */
+
+#ifndef MPC_COMMON_LOGGING_HH
+#define MPC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mpc
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal: print a tagged message to stderr and terminate. */
+[[noreturn]] void logAndAbort(const char *tag, const std::string &msg,
+                              bool core_dump);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr. */
+void warn(const std::string &msg);
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, invalid
+ * arguments) and exit(1). Not a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    logAndAbort("fatal", strprintf(fmt, std::forward<Args>(args)...), false);
+}
+
+/**
+ * Report an internal invariant violation (a bug in mpclust itself) and
+ * abort(), possibly dumping core.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    logAndAbort("panic", strprintf(fmt, std::forward<Args>(args)...), true);
+}
+
+/** panic() with a description when @p cond is false. */
+#define MPC_ASSERT(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::mpc::panic("assertion '%s' failed: %s", #cond, (msg));         \
+    } while (0)
+
+} // namespace mpc
+
+#endif // MPC_COMMON_LOGGING_HH

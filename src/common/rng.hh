@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload data
+ * initialization (splitmix64 / xoshiro256**). Simulation results must be
+ * reproducible across hosts, so we do not use std::random devices.
+ */
+
+#ifndef MPC_COMMON_RNG_HH
+#define MPC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mpc
+{
+
+/**
+ * xoshiro256** generator seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-seed the generator deterministically. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mpc
+
+#endif // MPC_COMMON_RNG_HH

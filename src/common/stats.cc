@@ -1,0 +1,71 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mpc
+{
+
+void
+TablePrinter::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute per-column widths across the header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            out << row[i];
+            if (i + 1 < row.size())
+                out << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    return strprintf("%.*f", decimals, value);
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+} // namespace mpc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator: scalar
+ * summaries, time-weighted occupancy histograms (for the MSHR-utilization
+ * figures), and an aligned text-table printer for benchmark output.
+ */
+
+#ifndef MPC_COMMON_STATS_HH
+#define MPC_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mpc
+{
+
+/**
+ * Running summary of a sampled quantity (count, sum, min, max, mean).
+ */
+class StatSummary
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double value)
+    {
+        ++count_;
+        sum_ += value;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Merge another summary into this one. */
+    void
+    merge(const StatSummary &other)
+    {
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Time-weighted occupancy histogram. Tracks, for an integer-valued level
+ * (e.g., number of occupied MSHRs), how many ticks were spent at each
+ * level. Used to produce the "fraction of time at least N MSHRs busy"
+ * curves of Figure 4.
+ */
+class OccupancyHistogram
+{
+  public:
+    /** @param max_level Largest trackable level; higher values clamp. */
+    explicit OccupancyHistogram(int max_level = 0)
+        : ticksAtLevel_(static_cast<size_t>(max_level) + 1, 0)
+    {}
+
+    /** Account @p ticks of simulated time spent at @p level. */
+    void
+    record(int level, Tick ticks)
+    {
+        if (level < 0)
+            level = 0;
+        const size_t idx =
+            std::min(static_cast<size_t>(level), ticksAtLevel_.size() - 1);
+        ticksAtLevel_[idx] += ticks;
+        totalTicks_ += ticks;
+    }
+
+    int maxLevel() const { return static_cast<int>(ticksAtLevel_.size()) - 1; }
+    Tick totalTicks() const { return totalTicks_; }
+
+    /** Ticks spent exactly at @p level. */
+    Tick
+    ticksAt(int level) const
+    {
+        if (level < 0 || level > maxLevel())
+            return 0;
+        return ticksAtLevel_[static_cast<size_t>(level)];
+    }
+
+    /**
+     * Fraction of total time spent at level >= @p level (the Figure 4
+     * utilization metric). Returns 0 if no time was recorded.
+     */
+    double
+    fracAtLeast(int level) const
+    {
+        if (totalTicks_ == 0)
+            return 0.0;
+        Tick at_least = 0;
+        for (int l = std::max(level, 0); l <= maxLevel(); ++l)
+            at_least += ticksAt(l);
+        return static_cast<double>(at_least) /
+               static_cast<double>(totalTicks_);
+    }
+
+    /** Time-weighted mean level. */
+    double
+    meanLevel() const
+    {
+        if (totalTicks_ == 0)
+            return 0.0;
+        double weighted = 0.0;
+        for (int l = 0; l <= maxLevel(); ++l)
+            weighted += static_cast<double>(ticksAt(l)) * l;
+        return weighted / static_cast<double>(totalTicks_);
+    }
+
+    /** Merge another histogram (levels clamp to this one's max). */
+    void
+    merge(const OccupancyHistogram &other)
+    {
+        for (int l = 0; l <= other.maxLevel(); ++l)
+            record(l, other.ticksAt(l));
+    }
+
+  private:
+    std::vector<Tick> ticksAtLevel_;
+    Tick totalTicks_ = 0;
+};
+
+/**
+ * Aligned plain-text table printer for benchmark harness output.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals decimal places. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Format a percentage (0.1234 -> "12.3%"). */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace mpc
+
+#endif // MPC_COMMON_STATS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Processor core configuration. Defaults follow Table 1 of the paper:
+ * 500 MHz, 4-wide fetch/retire, 64-entry instruction window, 32-entry
+ * memory queue, 16 outstanding branches, 2 ALUs / 2 FPUs / 2 address
+ * units, and the listed functional-unit latencies.
+ */
+
+#ifndef MPC_CPU_CONFIG_HH
+#define MPC_CPU_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace mpc::cpu
+{
+
+struct CoreConfig
+{
+    int fetchWidth = 4;         ///< instructions dispatched per cycle
+    int issueWidth = 4;         ///< instructions issued per cycle
+    int retireWidth = 4;        ///< instructions retired per cycle
+    int windowSize = 64;        ///< instruction window (reorder buffer)
+    int memQueueSize = 32;      ///< in-flight loads + buffered stores
+    int maxBranches = 16;       ///< unresolved branches in flight
+
+    int numAlus = 2;
+    int numFpus = 2;
+    int numAddrUnits = 2;
+
+    Tick latIntAlu = 1;
+    Tick latIntMul = 7;         ///< integer multiply/divide
+    Tick latFpArith = 3;        ///< most FPU ops
+    Tick latFpDiv = 16;
+    Tick latFpSqrt = 33;
+    Tick latAddrGen = 1;
+
+    /** Extra cycles from branch resolution to fetch restart. */
+    Tick mispredictPenalty = 4;
+
+    /** Branch predictor table entries (2-bit counters). */
+    int predictorEntries = 1024;
+
+    /** Write-buffer store issue attempts per cycle. */
+    int storeIssueWidth = 2;
+};
+
+} // namespace mpc::cpu
+
+#endif // MPC_CPU_CONFIG_HH

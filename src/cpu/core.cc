@@ -1,0 +1,443 @@
+#include "cpu/core.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::cpu
+{
+
+using kisa::Op;
+using kisa::OpClass;
+
+Core::Core(int id, mem::EventQueue &eq, const CoreConfig &cfg,
+           const kisa::Program &program, kisa::MemoryImage &mem,
+           mem::MemHierarchy &hier, SyncDevice *sync)
+    : id_(id), eq_(eq), cfg_(cfg), program_(program), mem_(mem),
+      hier_(hier), sync_(sync), predictor_(cfg.predictorEntries),
+      window_(static_cast<size_t>(cfg.windowSize)),
+      intWriter_(kisa::numIntRegs, 0), fpWriter_(kisa::numFpRegs, 0),
+      aluBusy_(static_cast<size_t>(cfg.numAlus), 0),
+      fpuBusy_(static_cast<size_t>(cfg.numFpus), 0),
+      addrBusy_(static_cast<size_t>(cfg.numAddrUnits), 0)
+{
+    MPC_ASSERT(!program.code.empty(), "empty program");
+}
+
+bool
+Core::done() const
+{
+    return haltRetired_ && writeBuffer_.empty();
+}
+
+void
+Core::tick()
+{
+    const Tick now = eq_.now();
+    doRetire(now);
+    doIssue(now);
+    doDispatch(now);
+    drainWriteBuffer(now);
+}
+
+bool
+Core::producerDone(std::uint64_t prod, Tick now) const
+{
+    if (prod == 0)
+        return true;
+    const std::uint64_t seq = prod - 1;
+    if (seq < headSeq_)
+        return true;  // already retired, hence completed
+    const Entry &p = slot(seq);
+    return p.state == EState::Completed && p.completeTick <= now;
+}
+
+void
+Core::recordProducers(Entry &entry, const kisa::Instr &instr)
+{
+    using kisa::noReg;
+    entry.prodA = 0;
+    entry.prodB = 0;
+    if (instr.ra != noReg) {
+        entry.prodA = kisa::srcAIsFp(instr.op) ? fpWriter_[instr.ra]
+                                               : intWriter_[instr.ra];
+    }
+    if (instr.rb != noReg) {
+        entry.prodB = kisa::srcBIsFp(instr.op) ? fpWriter_[instr.rb]
+                                               : intWriter_[instr.rb];
+    }
+}
+
+Tick
+Core::tryFunctionalUnit(OpClass cls, Tick now)
+{
+    std::vector<Tick> *pool = nullptr;
+    Tick lat = 1;
+    bool blocking = false;
+    switch (cls) {
+      case OpClass::IntAlu:
+        pool = &aluBusy_;
+        lat = cfg_.latIntAlu;
+        break;
+      case OpClass::IntMul:
+        pool = &aluBusy_;
+        lat = cfg_.latIntMul;
+        blocking = true;  // iterative multiply/divide unit
+        break;
+      case OpClass::FpArith:
+        pool = &fpuBusy_;
+        lat = cfg_.latFpArith;
+        break;
+      case OpClass::FpDiv:
+        pool = &fpuBusy_;
+        lat = cfg_.latFpDiv;
+        blocking = true;
+        break;
+      case OpClass::FpSqrt:
+        pool = &fpuBusy_;
+        lat = cfg_.latFpSqrt;
+        blocking = true;
+        break;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        pool = &addrBusy_;
+        lat = cfg_.latAddrGen;
+        break;
+      default:
+        panic("tryFunctionalUnit: op class has no unit");
+    }
+    for (Tick &busy_until : *pool) {
+        if (busy_until <= now) {
+            busy_until = now + (blocking ? lat : 1);
+            return now + lat;
+        }
+    }
+    return maxTick;
+}
+
+void
+Core::doRetire(Tick now)
+{
+    if (haltRetired_)
+        return;
+
+    int retired = 0;
+    while (retired < cfg_.retireWidth && headSeq_ < tailSeq_) {
+        Entry &e = slot(headSeq_);
+        if (e.state != EState::Completed || e.completeTick > now)
+            break;
+        if (e.isStore) {
+            WbEntry wb;
+            wb.addr = e.memAddr;
+            wb.refId = e.instr->refId;
+            wb.id = nextWbId_++;
+            writeBuffer_.push_back(wb);
+            ++stats_.stores;
+        }
+        if (e.isLoad || e.isPrefetch) {
+            --memQueueUsed_;
+            if (e.isLoad)
+                ++stats_.loads;
+        }
+        if (e.instr->op == Op::Halt) {
+            haltRetired_ = true;
+            stats_.doneTick = now;
+        }
+        ++headSeq_;
+        ++retired;
+        ++stats_.retired;
+        if (haltRetired_)
+            break;
+    }
+
+    stats_.busySlots += static_cast<std::uint64_t>(retired);
+    const int stall_slots = cfg_.retireWidth - retired;
+    if (stall_slots <= 0 || haltRetired_)
+        return;
+
+    StallCat cat = StallCat::Cpu;
+    if (headSeq_ < tailSeq_) {
+        const Entry &head = slot(headSeq_);
+        const Op op = head.instr->op;
+        if (head.isLoad && head.state != EState::Completed)
+            cat = StallCat::DataRead;
+        else if (head.isLoad)
+            cat = StallCat::DataRead;  // completed later this cycle
+        else if (op == Op::Barrier || op == Op::FlagWait)
+            cat = StallCat::Sync;
+        else if (head.isStore && head.state != EState::Completed)
+            cat = StallCat::Cpu;  // store waits on operands/AGEN
+        else
+            cat = StallCat::Cpu;
+    }
+    attributeStall(cat, stall_slots);
+}
+
+void
+Core::attributeStall(StallCat cat, int slots)
+{
+    const auto s = static_cast<std::uint64_t>(slots);
+    switch (cat) {
+      case StallCat::Busy:
+        stats_.busySlots += s;
+        break;
+      case StallCat::DataRead:
+        stats_.dataReadSlots += s;
+        break;
+      case StallCat::DataWrite:
+        stats_.dataWriteSlots += s;
+        break;
+      case StallCat::Sync:
+        stats_.syncSlots += s;
+        break;
+      case StallCat::Cpu:
+      case StallCat::Instr:
+        stats_.cpuSlots += s;
+        break;
+    }
+}
+
+bool
+Core::tryLoadAccess(std::uint64_t seq, Tick now)
+{
+    Entry &e = slot(seq);
+    const auto status = hier_.load(
+        e.memAddr, e.instr->refId, [this, seq](Tick t) {
+            Entry &entry = slot(seq);
+            entry.state = EState::Completed;
+            entry.completeTick = t;
+            const auto latency =
+                static_cast<double>(t - entry.issueTick);
+            const Tick l1_hit = hier_.l1().config().hitLatency;
+            if (latency > static_cast<double>(l1_hit) + 1)
+                stats_.loadMissLatency.sample(latency);
+            const Tick l2_hit = hier_.l2().config().hitLatency;
+            if (latency > static_cast<double>(l1_hit + l2_hit) + 4)
+                stats_.longMissLatency.sample(latency);
+        });
+    if (status != mem::Cache::Status::Ok)
+        return false;
+    e.state = EState::Outstanding;
+    e.issueTick = now;
+    return true;
+}
+
+void
+Core::doIssue(Tick now)
+{
+    int budget = cfg_.issueWidth;
+    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+        Entry &e = slot(seq);
+        switch (e.state) {
+          case EState::WaitOperands: {
+            if (budget <= 0)
+                break;
+            if (!producerDone(e.prodA, now) || !producerDone(e.prodB, now))
+                break;
+            const kisa::Instr &in = *e.instr;
+            const OpClass cls = kisa::opClass(in.op);
+            if (cls == OpClass::Nop) {
+                e.state = EState::Completed;
+                e.completeTick = now;
+                break;
+            }
+            const Tick done = tryFunctionalUnit(cls, now);
+            if (done == maxTick)
+                break;  // no free unit this cycle
+            --budget;
+            if (kisa::isMemOp(in.op)) {
+                // Address generation; cache access follows.
+                e.state = EState::WaitAgen;
+                e.readyTick = done;
+            } else {
+                e.state = EState::Completed;
+                e.completeTick = done;
+                if (kisa::isBranch(in.op)) {
+                    eq_.schedule(done, [this] { --unresolvedBranches_; });
+                    if (e.mispredicted)
+                        fetchResumeTick_ = done + cfg_.mispredictPenalty;
+                }
+            }
+            break;
+          }
+          case EState::WaitAgen:
+            if (now >= e.readyTick) {
+                if (e.isStore) {
+                    // Store is retire-ready once its address and data
+                    // are known; memory is updated from the write
+                    // buffer after retirement (release consistency).
+                    e.state = EState::Completed;
+                    e.completeTick = e.readyTick;
+                } else if (e.isPrefetch) {
+                    // Fire-and-forget; dropped if the cache rejects.
+                    hier_.load(e.memAddr, e.instr->refId,
+                               mem::CompletionFn{});
+                    e.state = EState::Completed;
+                    e.completeTick = e.readyTick;
+                } else {
+                    e.state = EState::WaitCache;
+                    tryLoadAccess(seq, now);
+                }
+            }
+            break;
+          case EState::WaitCache:
+            tryLoadAccess(seq, now);
+            break;
+          case EState::Outstanding:
+          case EState::WaitSync:
+          case EState::Completed:
+            break;
+        }
+    }
+}
+
+void
+Core::doDispatch(Tick now)
+{
+    for (int n = 0; n < cfg_.fetchWidth; ++n) {
+        if (haltDispatched_)
+            return;
+        if (dispatchBlockedSync_) {
+            Entry &blocked = slot(blockedSyncSeq_);
+            const kisa::Instr &in = *blocked.instr;
+            if (in.op == Op::FlagWait) {
+                const Addr addr = static_cast<Addr>(
+                    regs_.intRegs[in.ra] + in.imm);
+                const auto value =
+                    static_cast<std::int64_t>(mem_.ld64(addr));
+                if (value < regs_.intRegs[in.rb])
+                    return;  // still waiting
+                // Condition satisfied: architecturally execute it now.
+                auto res = kisa::step(program_, blocked.pc, regs_, mem_);
+                MPC_ASSERT(!res.syncBlocked, "flag re-check failed");
+                pc_ = res.nextPc;
+                blocked.state = EState::Completed;
+                blocked.completeTick = now;
+                dispatchBlockedSync_ = false;
+            } else {
+                // Barrier: released by the SyncDevice callback.
+                if (blocked.state != EState::Completed)
+                    return;
+                dispatchBlockedSync_ = false;
+            }
+            continue;
+        }
+        if (now < fetchResumeTick_)
+            return;  // mispredict redirect pending
+        if (tailSeq_ - headSeq_ >= window_.size())
+            return;  // window full
+
+        const kisa::Instr &in = program_.code[pc_];
+        if (kisa::isBranch(in.op) &&
+            unresolvedBranches_ >= cfg_.maxBranches)
+            return;
+        if (kisa::isMemOp(in.op) &&
+            memQueueUsed_ >= cfg_.memQueueSize)
+            return;
+
+        const std::uint64_t seq = tailSeq_++;
+        Entry &e = slot(seq);
+        e = Entry{};
+        e.instr = &in;
+        e.pc = pc_;
+        recordProducers(e, in);
+
+        if (in.op == Op::Halt) {
+            e.state = EState::Completed;
+            e.completeTick = now;
+            haltDispatched_ = true;
+            return;
+        }
+        if (in.op == Op::FlagWait) {
+            e.state = EState::WaitSync;
+            dispatchBlockedSync_ = true;
+            blockedSyncSeq_ = seq;
+            return;  // poll next cycle (at least one cycle of wait)
+        }
+        if (in.op == Op::Barrier) {
+            MPC_ASSERT(sync_ != nullptr, "Barrier with no SyncDevice");
+            auto res = kisa::step(program_, pc_, regs_, mem_);
+            pc_ = res.nextPc;
+            e.state = EState::WaitSync;
+            dispatchBlockedSync_ = true;
+            blockedSyncSeq_ = seq;
+            sync_->arrive(id_, [this, seq] {
+                Entry &entry = slot(seq);
+                entry.state = EState::Completed;
+                entry.completeTick = eq_.now();
+            });
+            // The last arriver's callback fires synchronously; loop
+            // re-checks dispatchBlockedSync_ next iteration.
+            continue;
+        }
+
+        // Ordinary instruction: functionally execute at dispatch.
+        auto res = kisa::step(program_, pc_, regs_, mem_);
+        const int branch_pc = pc_;
+        pc_ = res.nextPc;
+
+        if (res.isMem) {
+            e.memAddr = res.memAddr;
+            if (in.op == Op::Prefetch) {
+                // Nonbinding: occupies a memory-queue slot but never
+                // blocks retirement.
+                e.isPrefetch = true;
+            } else {
+                e.isLoad = res.isLoad;
+                e.isStore = !res.isLoad;
+            }
+            ++memQueueUsed_;
+        }
+        if (kisa::isBranch(in.op)) {
+            ++stats_.branches;
+            ++unresolvedBranches_;
+            const bool predicted = predictor_.predict(branch_pc, in);
+            predictor_.update(branch_pc, in, res.branchTaken);
+            if (predicted != res.branchTaken) {
+                e.mispredicted = true;
+                ++stats_.mispredicts;
+                // Block fetch until the branch resolves (set at issue).
+                fetchResumeTick_ = maxTick;
+                // Record destination register writer after mispredict
+                // handling below; branches have no destination.
+                return;
+            }
+        }
+        if (in.rd != kisa::noReg && !kisa::isBranch(in.op) &&
+            in.op != Op::StI && in.op != Op::StF) {
+            if (kisa::destIsFp(in.op))
+                fpWriter_[in.rd] = seq + 1;
+            else
+                intWriter_[in.rd] = seq + 1;
+        }
+    }
+}
+
+void
+Core::drainWriteBuffer(Tick now)
+{
+    (void)now;
+    int tries = cfg_.storeIssueWidth;
+    for (auto &wb : writeBuffer_) {
+        if (tries <= 0)
+            break;
+        if (wb.outstanding)
+            continue;
+        const std::uint64_t id = wb.id;
+        const auto status =
+            hier_.store(wb.addr, wb.refId, [this, id](Tick) {
+                for (auto it = writeBuffer_.begin();
+                     it != writeBuffer_.end(); ++it) {
+                    if (it->id == id) {
+                        writeBuffer_.erase(it);
+                        break;
+                    }
+                }
+                --memQueueUsed_;
+            });
+        if (status != mem::Cache::Status::Ok)
+            break;  // port or MSHR pressure; retry next cycle
+        wb.outstanding = true;
+        --tries;
+    }
+}
+
+} // namespace mpc::cpu

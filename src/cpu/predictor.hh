@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A small dynamic branch predictor: per-PC 2-bit saturating counters,
+ * initialized by the static backward-taken / forward-not-taken rule.
+ * Loop branches train quickly; loop exits mispredict, which is how
+ * inner-loop trip-count effects (e.g., strip-mining's shorter inner
+ * loops) show up in the timing model.
+ */
+
+#ifndef MPC_CPU_PREDICTOR_HH
+#define MPC_CPU_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kisa/isa.hh"
+
+namespace mpc::cpu
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(int entries)
+        : counters_(static_cast<size_t>(entries), 0xff)
+    {}
+
+    /** Predict taken/not-taken for the branch at @p pc. */
+    bool
+    predict(int pc, const kisa::Instr &instr)
+    {
+        if (instr.op == kisa::Op::Jmp)
+            return true;  // unconditional
+        std::uint8_t &ctr = slot(pc);
+        if (ctr == 0xff)
+            ctr = instr.target <= pc ? 2 : 1;  // BTFN initialization
+        return ctr >= 2;
+    }
+
+    /** Train with the actual outcome. */
+    void
+    update(int pc, const kisa::Instr &instr, bool taken)
+    {
+        if (instr.op == kisa::Op::Jmp)
+            return;
+        std::uint8_t &ctr = slot(pc);
+        if (ctr == 0xff)
+            ctr = instr.target <= pc ? 2 : 1;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
+  private:
+    std::uint8_t &
+    slot(int pc)
+    {
+        return counters_[static_cast<size_t>(pc) % counters_.size()];
+    }
+
+    // 0xff = uninitialized; otherwise 0..3 saturating counter.
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace mpc::cpu
+
+#endif // MPC_CPU_PREDICTOR_HH

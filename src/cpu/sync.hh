@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Barrier rendezvous device shared by the simulated cores. Arrival and
+ * release happen during core ticks; release callbacks complete each
+ * core's Barrier instruction so its retire stall is attributed to
+ * synchronization time.
+ */
+
+#ifndef MPC_CPU_SYNC_HH
+#define MPC_CPU_SYNC_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mpc::cpu
+{
+
+class SyncDevice
+{
+  public:
+    explicit SyncDevice(int num_cores) : numCores_(num_cores) {}
+
+    /**
+     * Core @p core_id arrives at the current barrier episode.
+     * @p on_release runs (synchronously, from the last arriver's tick)
+     * when every core has arrived.
+     */
+    void
+    arrive(int core_id, std::function<void()> on_release)
+    {
+        (void)core_id;
+        waiting_.push_back(std::move(on_release));
+        if (static_cast<int>(waiting_.size()) == numCores_) {
+            // Move out first: callbacks may arrive at the next barrier.
+            std::vector<std::function<void()>> release;
+            release.swap(waiting_);
+            for (auto &fn : release)
+                fn();
+        }
+        MPC_ASSERT(static_cast<int>(waiting_.size()) <= numCores_,
+                   "more barrier arrivals than cores");
+    }
+
+    int numCores() const { return numCores_; }
+
+  private:
+    int numCores_;
+    std::vector<std::function<void()>> waiting_;
+};
+
+} // namespace mpc::cpu
+
+#endif // MPC_CPU_SYNC_HH

@@ -1,0 +1,97 @@
+#include "harness/profiler.hh"
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mpc::harness
+{
+
+namespace
+{
+
+/** Tag-only set-associative LRU cache model. */
+class TagCache
+{
+  public:
+    explicit TagCache(const mem::CacheConfig &cfg)
+        : lineBytes_(cfg.lineBytes),
+          numSets_(cfg.numSets()),
+          sets_(cfg.numSets() * static_cast<size_t>(cfg.assoc),
+                invalidAddr),
+          assoc_(cfg.assoc), lru_(sets_.size(), 0)
+    {}
+
+    /** Access @p addr; @return true on hit. */
+    bool
+    access(Addr addr)
+    {
+        const Addr line = alignDown(addr, lineBytes_);
+        const size_t set = (line / lineBytes_) % numSets_;
+        const size_t base = set * static_cast<size_t>(assoc_);
+        size_t victim = base;
+        for (size_t w = base; w < base + static_cast<size_t>(assoc_);
+             ++w) {
+            if (sets_[w] == line) {
+                lru_[w] = ++clock_;
+                return true;
+            }
+            if (lru_[w] < lru_[victim])
+                victim = w;
+        }
+        sets_[victim] = line;
+        lru_[victim] = ++clock_;
+        return false;
+    }
+
+  private:
+    Addr lineBytes_;
+    std::uint64_t numSets_;
+    std::vector<Addr> sets_;
+    int assoc_;
+    std::vector<std::uint64_t> lru_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace
+
+CacheProfile
+CacheProfile::measure(const kisa::Program &program,
+                      kisa::MemoryImage &scratch,
+                      const mem::CacheConfig &geometry)
+{
+    CacheProfile profile;
+    TagCache cache(geometry);
+    kisa::Interpreter interp(scratch);
+    interp.addCore(program);
+    interp.setMemHook([&](int, const kisa::Instr &instr, Addr addr,
+                          bool) {
+        const bool hit = cache.access(addr);
+        if (instr.refId == 0xffffffff)
+            return;
+        auto &counts = profile.counts_[static_cast<int>(instr.refId)];
+        ++counts.accesses;
+        counts.misses += !hit;
+    });
+    interp.run(1ull << 31);
+    return profile;
+}
+
+double
+CacheProfile::missRate(int ref_id) const
+{
+    const auto it = counts_.find(ref_id);
+    if (it == counts_.end() || it->second.accesses == 0)
+        return 1.0;
+    return static_cast<double>(it->second.misses) /
+           static_cast<double>(it->second.accesses);
+}
+
+std::uint64_t
+CacheProfile::accesses(int ref_id) const
+{
+    const auto it = counts_.find(ref_id);
+    return it == counts_.end() ? 0 : it->second.accesses;
+}
+
+} // namespace mpc::harness

@@ -1,0 +1,187 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace mpc::harness
+{
+
+namespace
+{
+
+/** Category values of one run, normalized so Base totals 100. */
+struct Bars
+{
+    double instr, sync, cpu, data, total;
+};
+
+Bars
+barsOf(const sys::RunResult &run, double base_total)
+{
+    Bars bars;
+    const double scale = base_total > 0 ? 100.0 / base_total : 0.0;
+    bars.instr = run.instrCycles * scale;
+    bars.sync = run.syncCycles * scale;
+    bars.cpu = run.cpuComponent() * scale;
+    bars.data = run.dataComponent() * scale;
+    bars.total = static_cast<double>(run.cycles) * scale;
+    return bars;
+}
+
+double
+attributedTotal(const sys::RunResult &run)
+{
+    return run.instrCycles + run.syncCycles + run.cpuComponent() +
+           run.dataComponent();
+}
+
+} // namespace
+
+std::string
+formatFig3(const std::vector<std::string> &names,
+           const std::vector<PairResult> &pairs,
+           const std::string &title)
+{
+    TablePrinter table;
+    table.setHeader({"app", "variant", "total", "instr", "sync", "cpu",
+                     "data"});
+    StatSummary reductions;
+    for (size_t a = 0; a < pairs.size(); ++a) {
+        // Normalize both runs to the Base run's attributed time (the
+        // paper normalizes each app to its own base).
+        const double base_total = attributedTotal(pairs[a].base.result);
+        const Bars base = barsOf(pairs[a].base.result, base_total);
+        const Bars clust = barsOf(pairs[a].clust.result, base_total);
+        table.addRow({names[a], "Base", fmtDouble(base.total, 1),
+                      fmtDouble(base.instr, 1), fmtDouble(base.sync, 1),
+                      fmtDouble(base.cpu, 1), fmtDouble(base.data, 1)});
+        table.addRow({"", "Clust", fmtDouble(clust.total, 1),
+                      fmtDouble(clust.instr, 1),
+                      fmtDouble(clust.sync, 1), fmtDouble(clust.cpu, 1),
+                      fmtDouble(clust.data, 1)});
+        reductions.sample(pairs[a].reductionPct());
+    }
+    std::ostringstream out;
+    out << "== " << title << " ==\n"
+        << "(normalized execution time; Base = 100, categories in "
+           "base-run units)\n"
+        << table.render()
+        << strprintf("execution time reduction: min %.1f%%  "
+                     "max %.1f%%  avg %.1f%%\n",
+                     reductions.min(), reductions.max(),
+                     reductions.mean());
+    return out.str();
+}
+
+std::string
+formatReductionTable(const std::vector<std::string> &names,
+                     const std::vector<PairResult> &pairs,
+                     const std::string &row_label,
+                     const std::string &title)
+{
+    TablePrinter table;
+    std::vector<std::string> header{"% execution time reduced"};
+    for (const auto &name : names)
+        header.push_back(name);
+    table.setHeader(header);
+    std::vector<std::string> cells{row_label};
+    for (size_t a = 0; a < names.size(); ++a) {
+        if (a < pairs.size())
+            cells.push_back(fmtDouble(pairs[a].reductionPct(), 1));
+        else
+            cells.push_back("N/A");
+    }
+    table.addRow(cells);
+    std::ostringstream out;
+    out << "== " << title << " ==\n" << table.render();
+    return out.str();
+}
+
+std::string
+formatFig4(const std::vector<std::string> &labels,
+           const std::vector<const sys::RunResult *> &runs,
+           const std::string &title)
+{
+    std::ostringstream out;
+    out << "== " << title << " ==\n";
+    // (a) read-MSHR utilization
+    for (int part = 0; part < 2; ++part) {
+        out << (part == 0
+                    ? "(a) fraction of time >= N L2 MSHRs hold read "
+                      "misses\n"
+                    : "(b) fraction of time >= N L2 MSHRs in use "
+                      "(reads + writes)\n");
+        TablePrinter table;
+        std::vector<std::string> header{"N"};
+        for (const auto &label : labels)
+            header.push_back(label);
+        table.setHeader(header);
+        const int max_level = runs.empty()
+                                  ? 10
+                                  : runs[0]->l2TotalMshr.maxLevel();
+        for (int level = 0; level <= max_level; ++level) {
+            std::vector<std::string> cells{std::to_string(level)};
+            for (const sys::RunResult *run : runs) {
+                const auto &hist = part == 0 ? run->l2ReadMshr
+                                             : run->l2TotalMshr;
+                cells.push_back(fmtDouble(hist.fracAtLeast(level), 3));
+            }
+            table.addRow(cells);
+        }
+        out << table.render();
+    }
+    return out.str();
+}
+
+std::string
+formatLatbench(const PairResult &pair, double ns_per_cycle,
+               std::uint64_t misses_base, std::uint64_t misses_clust,
+               const std::string &title)
+{
+    const auto &base = pair.base.result;
+    const auto &clust = pair.clust.result;
+    auto stall_per_miss = [ns_per_cycle](const sys::RunResult &run,
+                                         std::uint64_t misses) {
+        return misses > 0
+                   ? run.dataComponent() / static_cast<double>(misses) *
+                         ns_per_cycle
+                   : 0.0;
+    };
+    const double base_stall = stall_per_miss(base, misses_base);
+    const double clust_stall = stall_per_miss(clust, misses_clust);
+
+    TablePrinter table;
+    table.setHeader({"variant", "stall/miss (ns)", "total lat (ns)",
+                     "bus util", "bank util"});
+    auto total_lat = [ns_per_cycle](const sys::RunResult &run) {
+        return run.cores[0].longMissLatency.mean() * ns_per_cycle;
+    };
+    table.addRow({"Base", fmtDouble(base_stall, 1),
+                  fmtDouble(total_lat(base), 1),
+                  fmtPercent(base.busUtilization),
+                  fmtPercent(base.bankUtilization)});
+    table.addRow({"Clust", fmtDouble(clust_stall, 1),
+                  fmtDouble(total_lat(clust), 1),
+                  fmtPercent(clust.busUtilization),
+                  fmtPercent(clust.bankUtilization)});
+    std::ostringstream out;
+    out << "== " << title << " ==\n"
+        << table.render()
+        << strprintf("stall-per-miss speedup: %.2fx\n",
+                     clust_stall > 0 ? base_stall / clust_stall : 0.0);
+    return out.str();
+}
+
+std::string
+formatDriverSummary(const std::string &name,
+                    const transform::DriverReport &report)
+{
+    std::ostringstream out;
+    out << "-- driver decisions for " << name << " --\n"
+        << report.toString();
+    return out.str();
+}
+
+} // namespace mpc::harness

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper-shaped report formatting: the Figure 3 normalized execution-
+ * time breakdowns, the Table 3 reduction table, the Figure 4 MSHR
+ * utilization series, and the Latbench latency table.
+ */
+
+#ifndef MPC_HARNESS_REPORT_HH
+#define MPC_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace mpc::harness
+{
+
+/**
+ * Figure 3 style: per application, Base and Clust bars normalized to
+ * the Base run (100.0), broken into Instr / Sync / CPU / Data
+ * categories. Returns the rendered table plus a summary line with the
+ * min/max/average total reduction.
+ */
+std::string formatFig3(const std::vector<std::string> &names,
+                       const std::vector<PairResult> &pairs,
+                       const std::string &title);
+
+/** Table 3 style: percent execution time reduced per application.
+ *  @p row_label names the row (e.g. "multiprocessor"). */
+std::string formatReductionTable(
+    const std::vector<std::string> &names,
+    const std::vector<PairResult> &pairs,
+    const std::string &row_label,
+    const std::string &title);
+
+/**
+ * Figure 4 style: for each run, the fraction of time at least N L2
+ * MSHRs are occupied (reads and total), N = 0..max.
+ */
+std::string formatFig4(const std::vector<std::string> &labels,
+                       const std::vector<const sys::RunResult *> &runs,
+                       const std::string &title);
+
+/** Latbench: per-miss stall and total latency, base vs clustered. */
+std::string formatLatbench(const PairResult &pair, double ns_per_cycle,
+                           std::uint64_t misses_base,
+                           std::uint64_t misses_clust,
+                           const std::string &title);
+
+/** One-line driver summary for an application. */
+std::string formatDriverSummary(const std::string &name,
+                                const transform::DriverReport &report);
+
+} // namespace mpc::harness
+
+#endif // MPC_HARNESS_REPORT_HH

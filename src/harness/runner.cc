@@ -1,0 +1,101 @@
+#include "harness/runner.hh"
+
+#include "codegen/codegen.hh"
+#include "transform/transforms.hh"
+#include "common/logging.hh"
+#include <set>
+
+#include "harness/profiler.hh"
+
+namespace mpc::harness
+{
+
+sys::SystemConfig
+scaleConfig(sys::SystemConfig config, const workloads::Workload &workload)
+{
+    // Scale the lowest cache level with the input, as the paper does
+    // (Woo et al. methodology). Line size and MSHR count stay fixed.
+    if (config.hier.singleLevel)
+        config.hier.l1.sizeBytes = workload.l2Bytes;
+    else
+        config.hier.l2.sizeBytes = workload.l2Bytes;
+    return config;
+}
+
+WorkloadRun
+runWorkload(const workloads::Workload &workload, const RunSpec &spec)
+{
+    WorkloadRun out;
+    const sys::SystemConfig config = scaleConfig(spec.config, workload);
+
+    ir::Kernel kernel = workload.kernel.clone();
+
+    // Partition parallel loops per processor at the IR level before any
+    // transformation, so unroll-and-jam operates on each processor's
+    // own range (balanced chunks, per-processor postludes).
+    if (spec.procs > 1)
+        transform::partitionParallelLoops(kernel);
+
+    if (spec.clustered) {
+        // Profile P_m on the base uniprocessor binary with the target
+        // cache geometry (Section 3.2.2: "measured through cache
+        // simulation or profiling").
+        kisa::MemoryImage scratch;
+        workload.init(scratch);
+        const kisa::Program base_prog = codegen::lower(kernel);
+        const auto &geometry = config.hier.singleLevel
+                                   ? config.hier.l1
+                                   : config.hier.l2;
+        const CacheProfile profile =
+            CacheProfile::measure(base_prog, scratch, geometry);
+
+        transform::DriverParams params;
+        params.lp = geometry.numMshrs;
+        params.windowSize = config.core.windowSize;
+        params.lineBytes = geometry.lineBytes;
+        params.maxUnroll = spec.maxUnroll;
+        params.bodySize = codegen::loweredBodySize;
+        params.missRate = [profile](int ref_id) {
+            return profile.missRate(ref_id);
+        };
+        out.report = transform::applyClustering(kernel, params);
+    }
+
+    out.kernelText = kernel.toString();
+
+    const int procs = std::max(spec.procs, 1);
+    std::set<std::uint32_t> leading;
+    for (int ref_id : out.report.leadingRefIds)
+        leading.insert(static_cast<std::uint32_t>(ref_id));
+    auto programs = codegen::lowerForCores(kernel, procs,
+                                           spec.clustered, leading);
+
+    kisa::MemoryImage image;
+    workload.init(image);
+
+    coherence::PlacementPolicy placement(procs,
+                                         config.fabric.lineBytes);
+    if (workload.place)
+        workload.place(placement);
+
+    sys::System system(config, std::move(programs), image, &placement);
+    out.result = system.run(spec.maxCycles);
+    return out;
+}
+
+PairResult
+runPair(const workloads::Workload &workload,
+        const sys::SystemConfig &config, int procs)
+{
+    PairResult pair;
+    RunSpec spec;
+    spec.config = config;
+    spec.procs = procs;
+    spec.clustered = false;
+    pair.base = runWorkload(workload, spec);
+    spec.clustered = true;
+    pair.clust = runWorkload(workload, spec);
+    return pair;
+}
+
+} // namespace mpc::harness

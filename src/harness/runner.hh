@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment runner: prepares a workload for a system configuration
+ * (scaled caches, optional clustering transformation with profiled
+ * miss rates, per-core lowering, data placement) and runs it on the
+ * simulator. The figure/table benches and integration tests are built
+ * on these entry points.
+ */
+
+#ifndef MPC_HARNESS_RUNNER_HH
+#define MPC_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "system/system.hh"
+#include "transform/driver.hh"
+#include "workloads/workload.hh"
+
+namespace mpc::harness
+{
+
+struct RunSpec
+{
+    sys::SystemConfig config = sys::baseConfig();
+    int procs = 1;
+    bool clustered = false;     ///< apply the driver + scheduler
+    int maxUnroll = 16;         ///< U
+    Tick maxCycles = Tick(1) << 36;
+};
+
+/** One simulation run, plus what the compiler did to get there. */
+struct WorkloadRun
+{
+    sys::RunResult result;
+    transform::DriverReport report;     ///< empty for base runs
+    std::string kernelText;             ///< final (possibly transformed)
+};
+
+/** Prepare and simulate @p workload under @p spec. */
+WorkloadRun runWorkload(const workloads::Workload &workload,
+                        const RunSpec &spec);
+
+/** Base + clustered runs of the same workload/config/procs. */
+struct PairResult
+{
+    WorkloadRun base;
+    WorkloadRun clust;
+
+    /** Percent execution-time reduction (Table 3's metric). */
+    double
+    reductionPct() const
+    {
+        const double b = static_cast<double>(base.result.cycles);
+        const double c = static_cast<double>(clust.result.cycles);
+        return b > 0 ? (1.0 - c / b) * 100.0 : 0.0;
+    }
+};
+
+PairResult runPair(const workloads::Workload &workload,
+                   const sys::SystemConfig &config, int procs);
+
+/** Apply the workload's scaled cache size to a configuration. */
+sys::SystemConfig scaleConfig(sys::SystemConfig config,
+                              const workloads::Workload &workload);
+
+} // namespace mpc::harness
+
+#endif // MPC_HARNESS_RUNNER_HH

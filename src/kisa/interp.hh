@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional execution of KISA programs.
+ *
+ * The single-instruction step() routine defines the architectural
+ * semantics and is shared by the golden-model interpreter here and by
+ * the timing simulator's dispatch stage (src/cpu), so the two can never
+ * diverge functionally.
+ */
+
+#ifndef MPC_KISA_INTERP_HH
+#define MPC_KISA_INTERP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kisa/memimage.hh"
+#include "kisa/program.hh"
+
+namespace mpc::kisa
+{
+
+/** Architectural register state of one core. */
+struct RegFile
+{
+    std::int64_t intRegs[numIntRegs] = {};
+    double fpRegs[numFpRegs] = {};
+};
+
+/** Outcome of functionally executing one instruction. */
+struct StepResult
+{
+    int nextPc = 0;             ///< instruction index to execute next
+    bool halted = false;        ///< executed Halt
+    bool isBarrier = false;     ///< executed Barrier (caller coordinates)
+    bool syncBlocked = false;   ///< FlagWait condition unsatisfied; pc holds
+    bool isMem = false;         ///< instruction accessed memory
+    bool isLoad = false;        ///< memory access was a read
+    Addr memAddr = invalidAddr; ///< effective address if isMem
+    bool branchTaken = false;   ///< conditional branch taken (or Jmp)
+};
+
+/**
+ * Functionally execute program.code[pc], updating @p regs and @p mem.
+ * FlagWait with an unsatisfied condition sets syncBlocked and leaves all
+ * state unchanged. Barrier sets isBarrier and advances; multi-core
+ * coordination is the caller's job.
+ */
+StepResult step(const Program &program, int pc, RegFile &regs,
+                MemoryImage &mem);
+
+/**
+ * Golden-model interpreter for one or more cores sharing a MemoryImage.
+ * Cores are stepped round-robin; a core blocks at a Barrier until all
+ * cores arrive, and at a FlagWait until the condition holds.
+ */
+class Interpreter
+{
+  public:
+    /** Observer invoked for each memory access (for cache profiling). */
+    using MemHook = std::function<void(int core, const Instr &instr,
+                                       Addr addr, bool is_load)>;
+
+    /** @param mem Shared backing store (not owned). */
+    explicit Interpreter(MemoryImage &mem) : mem_(&mem) {}
+
+    /** Add a core running @p program. Returns the core index. */
+    int addCore(const Program &program);
+
+    /** Install a memory-access observer. */
+    void setMemHook(MemHook hook) { memHook_ = std::move(hook); }
+
+    /**
+     * Run all cores to completion.
+     * @param max_steps Per-run instruction budget; exceeded => fatal
+     *        (guards against runaway kernels in tests).
+     * @return total dynamic instructions executed.
+     */
+    std::uint64_t run(std::uint64_t max_steps = 1ull << 32);
+
+    /** Dynamic instruction count of core @p core after run(). */
+    std::uint64_t instrCount(int core) const;
+
+    /** Architectural registers of core @p core (post-run inspection). */
+    const RegFile &regs(int core) const { return cores_[core].regs; }
+
+  private:
+    struct CoreState
+    {
+        const Program *program;
+        RegFile regs;
+        int pc = 0;
+        bool halted = false;
+        bool atBarrier = false;
+        std::uint64_t instrs = 0;
+    };
+
+    MemoryImage *mem_;
+    std::vector<CoreState> cores_;
+    MemHook memHook_;
+};
+
+} // namespace mpc::kisa
+
+#endif // MPC_KISA_INTERP_HH

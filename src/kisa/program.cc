@@ -1,0 +1,228 @@
+#include "kisa/program.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mpc::kisa
+{
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    for (size_t i = 0; i < code.size(); ++i)
+        out += strprintf("%5zu: %s\n", i, code[i].toString().c_str());
+    return out;
+}
+
+AsmBuilder::AsmBuilder(std::string name)
+{
+    prog_.name = std::move(name);
+}
+
+AsmBuilder::Label
+AsmBuilder::newLabel()
+{
+    Label label;
+    label.id = static_cast<int>(labelPos_.size());
+    labelPos_.push_back(-1);
+    return label;
+}
+
+void
+AsmBuilder::bind(Label label)
+{
+    MPC_ASSERT(label.id >= 0 &&
+               label.id < static_cast<int>(labelPos_.size()),
+               "bind of unallocated label");
+    MPC_ASSERT(labelPos_[label.id] == -1, "label bound twice");
+    labelPos_[label.id] = here();
+}
+
+int
+AsmBuilder::emit(Instr instr)
+{
+    MPC_ASSERT(!finished_, "emit after finish");
+    prog_.code.push_back(instr);
+    return static_cast<int>(prog_.code.size()) - 1;
+}
+
+void
+AsmBuilder::emit3(Op op, Reg rd, Reg ra, Reg rb)
+{
+    Instr instr;
+    instr.op = op;
+    instr.rd = rd;
+    instr.ra = ra;
+    instr.rb = rb;
+    emit(instr);
+}
+
+void
+AsmBuilder::iAddImm(Reg rd, Reg ra, std::int64_t imm)
+{
+    Instr instr;
+    instr.op = Op::IAddImm;
+    instr.rd = rd;
+    instr.ra = ra;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+AsmBuilder::iMulImm(Reg rd, Reg ra, std::int64_t imm)
+{
+    Instr instr;
+    instr.op = Op::IMulImm;
+    instr.rd = rd;
+    instr.ra = ra;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+AsmBuilder::iShlImm(Reg rd, Reg ra, std::int64_t imm)
+{
+    Instr instr;
+    instr.op = Op::IShlImm;
+    instr.rd = rd;
+    instr.ra = ra;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+AsmBuilder::iAndImm(Reg rd, Reg ra, std::int64_t imm)
+{
+    Instr instr;
+    instr.op = Op::IAndImm;
+    instr.rd = rd;
+    instr.ra = ra;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+AsmBuilder::iLoadImm(Reg rd, std::int64_t imm)
+{
+    Instr instr;
+    instr.op = Op::ILoadImm;
+    instr.rd = rd;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+AsmBuilder::fLoadImm(Reg rd, double value)
+{
+    Instr instr;
+    instr.op = Op::FLoadImm;
+    instr.rd = rd;
+    instr.imm = std::bit_cast<std::int64_t>(value);
+    emit(instr);
+}
+
+void
+AsmBuilder::ldI(Reg rd, Reg base, std::int64_t disp, std::uint32_t ref_id)
+{
+    Instr instr;
+    instr.op = Op::LdI;
+    instr.rd = rd;
+    instr.ra = base;
+    instr.imm = disp;
+    instr.refId = ref_id;
+    emit(instr);
+}
+
+void
+AsmBuilder::ldF(Reg fd, Reg base, std::int64_t disp, std::uint32_t ref_id)
+{
+    Instr instr;
+    instr.op = Op::LdF;
+    instr.rd = fd;
+    instr.ra = base;
+    instr.imm = disp;
+    instr.refId = ref_id;
+    emit(instr);
+}
+
+void
+AsmBuilder::stI(Reg base, std::int64_t disp, Reg src, std::uint32_t ref_id)
+{
+    Instr instr;
+    instr.op = Op::StI;
+    instr.ra = base;
+    instr.rb = src;
+    instr.imm = disp;
+    instr.refId = ref_id;
+    emit(instr);
+}
+
+void
+AsmBuilder::stF(Reg base, std::int64_t disp, Reg src, std::uint32_t ref_id)
+{
+    Instr instr;
+    instr.op = Op::StF;
+    instr.ra = base;
+    instr.rb = src;
+    instr.imm = disp;
+    instr.refId = ref_id;
+    emit(instr);
+}
+
+void
+AsmBuilder::branch(Op op, Reg ra, Reg rb, Label target)
+{
+    Instr instr;
+    instr.op = op;
+    instr.ra = ra;
+    instr.rb = rb;
+    const int idx = emit(instr);
+    MPC_ASSERT(target.id >= 0 &&
+               target.id < static_cast<int>(labelPos_.size()),
+               "branch to unallocated label");
+    fixups_.push_back({idx, target.id});
+}
+
+void
+AsmBuilder::barrier()
+{
+    Instr instr;
+    instr.op = Op::Barrier;
+    emit(instr);
+}
+
+void
+AsmBuilder::flagWait(Reg base, std::int64_t disp, Reg threshold)
+{
+    Instr instr;
+    instr.op = Op::FlagWait;
+    instr.ra = base;
+    instr.rb = threshold;
+    instr.imm = disp;
+    emit(instr);
+}
+
+void
+AsmBuilder::halt()
+{
+    Instr instr;
+    instr.op = Op::Halt;
+    emit(instr);
+}
+
+Program
+AsmBuilder::finish()
+{
+    MPC_ASSERT(!finished_, "finish called twice");
+    for (const Fixup &fixup : fixups_) {
+        const int pos = labelPos_[fixup.labelId];
+        MPC_ASSERT(pos >= 0, "branch to unbound label");
+        prog_.code[fixup.instrIdx].target = pos;
+    }
+    finished_ = true;
+    return std::move(prog_);
+}
+
+} // namespace mpc::kisa

@@ -1,0 +1,301 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::mem
+{
+
+Cache::Cache(EventQueue &eq, CacheConfig cfg, bool coherent,
+             bool write_allocate)
+    : eq_(eq), cfg_(std::move(cfg)), coherent_(coherent),
+      writeAllocate_(write_allocate),
+      sets_(cfg_.numSets(), std::vector<Line>(cfg_.assoc)),
+      mshrs_(cfg_.numMshrs)
+{
+    MPC_ASSERT(isPowerOf2(cfg_.lineBytes), "line size must be power of 2");
+    MPC_ASSERT(isPowerOf2(cfg_.numSets()), "set count must be power of 2");
+}
+
+bool
+Cache::reservePort()
+{
+    const Tick now = eq_.now();
+    if (portTick_ != now) {
+        portTick_ = now;
+        portsUsed_ = 0;
+    }
+    if (portsUsed_ >= cfg_.numPorts)
+        return false;
+    ++portsUsed_;
+    return true;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const std::uint64_t set = (line_addr / cfg_.lineBytes) % cfg_.numSets();
+    for (Line &line : sets_[set])
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::isResident(Addr addr) const
+{
+    return findLine(lineOf(addr)) != nullptr;
+}
+
+LineState
+Cache::lineState(Addr addr) const
+{
+    const Line *line = findLine(lineOf(addr));
+    return line ? line->state : LineState::Invalid;
+}
+
+Cache::Status
+Cache::loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done)
+{
+    return access(Kind::Load, addr, false, ref_id, std::move(done), {});
+}
+
+Cache::Status
+Cache::writeAccess(Addr addr, std::uint32_t ref_id, CompletionFn done)
+{
+    return access(Kind::Write, addr, true, ref_id, std::move(done), {});
+}
+
+Cache::Status
+Cache::lineRequest(Addr line_addr, bool exclusive,
+                   std::function<void()> on_fill)
+{
+    return access(Kind::LineFetch, line_addr, exclusive, 0xffffffff, {},
+                  std::move(on_fill));
+}
+
+Cache::Status
+Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
+              CompletionFn done, std::function<void()> on_fill)
+{
+    const Addr line_addr = lineOf(addr);
+    const Tick now = eq_.now();
+    const bool is_load = kind != Kind::Write;
+
+    if (!reservePort()) {
+        ++stats_.rejectsPort;
+        return Status::RejectPort;
+    }
+
+    if (kind == Kind::Write)
+        ++stats_.writes;
+    else
+        ++stats_.loads;
+    Stats::RefCounts *ref_counts = nullptr;
+    if (ref_id != 0xffffffff) {
+        ref_counts = &stats_.perRef[ref_id];
+        ++ref_counts->accesses;
+    }
+
+    Line *line = findLine(line_addr);
+    const bool needs_upgrade = line != nullptr && kind == Kind::Write &&
+                               coherent_ && line->state == LineState::Shared;
+    const bool fetch_upgrade =
+        line != nullptr && coherent_ && exclusive &&
+        line->state == LineState::Shared && kind == Kind::LineFetch;
+
+    if (line != nullptr && !needs_upgrade && !fetch_upgrade) {
+        // Plain hit.
+        touch(*line);
+        if (kind == Kind::Write) {
+            ++stats_.writeHits;
+            if (writeAllocate_) {
+                line->dirty = true;
+                if (!coherent_ || line->state == LineState::Modified)
+                    line->state = LineState::Modified;
+            }
+        } else {
+            ++stats_.loadHits;
+        }
+        const Tick when = now + cfg_.hitLatency;
+        if (kind == Kind::LineFetch) {
+            eq_.schedule(when, std::move(on_fill));
+        } else if (done) {
+            eq_.schedule(when, [fn = std::move(done), when] { fn(when); });
+        }
+        return Status::Ok;
+    }
+
+    // Miss (or upgrade). Coalesce into an existing MSHR if possible.
+    MshrFile::Id id = mshrs_.find(line_addr);
+    if (id == MshrFile::invalidId) {
+        if (mshrs_.full()) {
+            ++stats_.rejectsMshr;
+            if (kind == Kind::Write)
+                --stats_.writes;
+            else
+                --stats_.loads;
+            if (ref_counts != nullptr)
+                --ref_counts->accesses;
+            return Status::RejectMshr;
+        }
+        // Only the allocating access initiates a miss (coalesced
+        // accesses ride the outstanding one): this matches the P_m
+        // "miss pattern" semantics of Section 3.2.2.
+        if (ref_counts != nullptr)
+            ++ref_counts->misses;
+        id = mshrs_.allocate(now, line_addr, exclusive);
+        if (kind == Kind::Write)
+            ++stats_.writeMisses;
+        else
+            ++stats_.loadMisses;
+        if (needs_upgrade || fetch_upgrade)
+            ++stats_.upgrades;
+        issueDownstream(id);
+    } else {
+        if (exclusive)
+            mshrs_.setExclusive(id);
+        if (kind == Kind::Write)
+            ++stats_.writeCoalesced;
+        else
+            ++stats_.loadCoalesced;
+    }
+
+    MshrTarget target;
+    target.isLoad = is_load;
+    target.refId = ref_id;
+    if (kind == Kind::LineFetch)
+        target.onComplete = [fn = std::move(on_fill)](Tick) { fn(); };
+    else
+        target.onComplete = std::move(done);
+    mshrs_.addTarget(now, id, std::move(target));
+    return Status::Ok;
+}
+
+void
+Cache::issueDownstream(MshrFile::Id id)
+{
+    MPC_ASSERT(down_ != nullptr, "cache has no downstream");
+    const Addr line_addr = mshrs_.lineAddr(id);
+    const bool exclusive = mshrs_.exclusive(id);
+    const bool accepted = down_->request(
+        line_addr, exclusive, [this, id] { handleFill(id); });
+    if (accepted) {
+        mshrs_.markIssued(id);
+    } else {
+        // Retry next cycle.
+        eq_.scheduleIn(1, [this, id] { issueDownstream(id); });
+    }
+}
+
+void
+Cache::handleFill(MshrFile::Id id)
+{
+    const Tick now = eq_.now();
+    const Addr line_addr = mshrs_.lineAddr(id);
+    const bool exclusive = mshrs_.exclusive(id);
+    ++stats_.fills;
+    stats_.missLatency.sample(
+        static_cast<double>(now - mshrs_.allocTick(id)));
+
+    // Install (or upgrade) the line.
+    Line *line = findLine(line_addr);
+    if (line != nullptr) {
+        // Upgrade completion: permission arrived for a resident line.
+        line->state = exclusive ? LineState::Modified : LineState::Shared;
+        touch(*line);
+    } else {
+        installLine(line_addr,
+                    exclusive ? LineState::Modified : LineState::Shared,
+                    false);
+        line = findLine(line_addr);
+    }
+
+    auto targets = mshrs_.deallocate(now, id);
+    const Tick when = now + cfg_.fillLatency;
+    for (auto &target : targets) {
+        if (!target.isLoad && writeAllocate_) {
+            line->dirty = true;
+            line->state = LineState::Modified;
+        }
+        if (target.onComplete) {
+            eq_.schedule(when, [fn = std::move(target.onComplete), when] {
+                fn(when);
+            });
+        }
+    }
+}
+
+void
+Cache::installLine(Addr line_addr, LineState state, bool dirty)
+{
+    const std::uint64_t set = (line_addr / cfg_.lineBytes) % cfg_.numSets();
+    Line *victim = nullptr;
+    for (Line &line : sets_[set]) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid) {
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            MPC_ASSERT(down_ != nullptr, "dirty eviction with no downstream");
+            down_->writeback(victim->tag);
+        }
+        if (backInvalidate_)
+            backInvalidate_(victim->tag);
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->state = state;
+    victim->tag = line_addr;
+    touch(*victim);
+}
+
+bool
+Cache::probeInvalidate(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (line == nullptr)
+        return false;
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    line->state = LineState::Invalid;
+    if (backInvalidate_)
+        backInvalidate_(line_addr);
+    return was_dirty;
+}
+
+bool
+Cache::probeDowngrade(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (line == nullptr)
+        return false;
+    const bool was_dirty = line->dirty;
+    line->dirty = false;
+    line->state = LineState::Shared;
+    return was_dirty;
+}
+
+void
+Cache::backInvalidateLine(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (line == nullptr)
+        return;
+    line->valid = false;
+    line->dirty = false;
+    line->state = LineState::Invalid;
+}
+
+} // namespace mpc::mem

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A cycle-approximate, event-driven cache with MSHRs and miss
+ * coalescing.
+ *
+ * The simulated hierarchy uses two instances per node:
+ *  - L1 data cache: write-through, no-write-allocate (stores bypass to
+ *    L2 via the processor write buffer), load misses allocate L1 MSHRs;
+ *  - L2 cache: write-back, write-allocate, holds the node's coherence
+ *    state; its MSHR file is the lp resource of the paper and the
+ *    subject of Figure 4.
+ */
+
+#ifndef MPC_MEM_CACHE_HH
+#define MPC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/config.hh"
+#include "mem/eventq.hh"
+#include "mem/mshr.hh"
+
+namespace mpc::mem
+{
+
+/** Coherence state of a resident line. */
+enum class LineState : std::uint8_t { Invalid, Shared, Modified };
+
+/**
+ * Interface a cache uses to fetch lines from (and write lines back to)
+ * the next level — main memory in a uniprocessor, the node's coherence
+ * controller in the multiprocessor.
+ */
+class DownstreamPort
+{
+  public:
+    virtual ~DownstreamPort() = default;
+
+    /**
+     * Request a line fetch. @p on_fill runs when the line arrives (with
+     * write permission if @p exclusive). @return false if the request
+     * cannot be accepted now (caller retries).
+     */
+    virtual bool request(Addr line_addr, bool exclusive,
+                         std::function<void()> on_fill) = 0;
+
+    /** Accept a dirty-line writeback (buffered; never rejected). */
+    virtual void writeback(Addr line_addr) = 0;
+};
+
+/**
+ * One cache level. See file comment for the two usage profiles.
+ */
+class Cache
+{
+  public:
+    enum class Status { Ok, RejectPort, RejectMshr };
+
+    /** Aggregate counters. */
+    struct Stats
+    {
+        std::uint64_t loads = 0;
+        std::uint64_t loadHits = 0;
+        std::uint64_t loadMisses = 0;       ///< MSHR allocations for loads
+        std::uint64_t loadCoalesced = 0;    ///< loads merged into MSHRs
+        std::uint64_t writes = 0;
+        std::uint64_t writeHits = 0;
+        std::uint64_t writeMisses = 0;
+        std::uint64_t writeCoalesced = 0;
+        std::uint64_t upgrades = 0;         ///< write hits on Shared lines
+        std::uint64_t rejectsPort = 0;
+        std::uint64_t rejectsMshr = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t fills = 0;
+        StatSummary missLatency;            ///< MSHR alloc -> fill
+
+        /** Per-static-reference access/miss counts (by refId), for
+         *  validating profiled P_m against simulated behaviour. */
+        struct RefCounts
+        {
+            std::uint64_t accesses = 0;
+            std::uint64_t misses = 0;
+        };
+        std::unordered_map<std::uint32_t, RefCounts> perRef;
+    };
+
+    /**
+     * @param eq Shared event queue.
+     * @param cfg Geometry/timing.
+     * @param coherent True for the multiprocessor L2: write hits on
+     *        Shared lines take the upgrade-miss path.
+     * @param write_allocate False for the write-through L1 profile.
+     */
+    Cache(EventQueue &eq, CacheConfig cfg, bool coherent,
+          bool write_allocate);
+
+    /** Wire the next level (not owned). */
+    void setDownstream(DownstreamPort *down) { down_ = down; }
+
+    /** Hook invoked when this cache evicts/invalidates a line, so an
+     *  upper level can maintain inclusion. */
+    void setBackInvalidate(std::function<void(Addr)> fn)
+    {
+        backInvalidate_ = std::move(fn);
+    }
+
+    // --- upper-side access ------------------------------------------
+    /** CPU or upper-cache load of one word at @p addr. */
+    Status loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done);
+
+    /** Write of one word at @p addr (write buffer drains into L2). */
+    Status writeAccess(Addr addr, std::uint32_t ref_id, CompletionFn done);
+
+    /**
+     * Upper-cache fetch of a whole line. @p on_fill runs when the line
+     * is present here (and can then be forwarded upward).
+     */
+    Status lineRequest(Addr line_addr, bool exclusive,
+                       std::function<void()> on_fill);
+
+    // --- coherence probes (multiprocessor L2) ------------------------
+    /** Invalidate the line if resident. @return true if it was dirty. */
+    bool probeInvalidate(Addr line_addr);
+
+    /** Downgrade Modified -> Shared. @return true if it was dirty. */
+    bool probeDowngrade(Addr line_addr);
+
+    /** Invalidate without coherence action (inclusion maintenance). */
+    void backInvalidateLine(Addr line_addr);
+
+    // --- inspection ---------------------------------------------------
+    bool isResident(Addr addr) const;
+    LineState lineState(Addr addr) const;
+    const Stats &stats() const { return stats_; }
+    const MshrFile &mshrs() const { return mshrs_; }
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Flush time-weighted stats at end of simulation. */
+    void finalizeStats(Tick now) { mshrs_.finalizeStats(now); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        LineState state = LineState::Invalid;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    enum class Kind { Load, Write, LineFetch };
+
+    Addr lineOf(Addr addr) const { return alignDown(addr, cfg_.lineBytes); }
+
+    /** Common access path. @p on_fill used for LineFetch kind. */
+    Status access(Kind kind, Addr addr, bool exclusive,
+                  std::uint32_t ref_id, CompletionFn done,
+                  std::function<void()> on_fill);
+
+    /** Reserve an upper-side port this cycle; false if all busy. */
+    bool reservePort();
+
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    /** Install @p line_addr, selecting and evicting a victim. */
+    void installLine(Addr line_addr, LineState state, bool dirty);
+
+    /** Handle a fill from downstream for MSHR @p id. */
+    void handleFill(MshrFile::Id id);
+
+    /** Try to issue the downstream request for MSHR @p id; retries via
+     *  the event queue until accepted. */
+    void issueDownstream(MshrFile::Id id);
+
+    /** Mark a line most-recently-used. */
+    void touch(Line &line) { line.lastUse = ++useClock_; }
+
+    EventQueue &eq_;
+    CacheConfig cfg_;
+    bool coherent_;
+    bool writeAllocate_;
+    DownstreamPort *down_ = nullptr;
+    std::function<void(Addr)> backInvalidate_;
+
+    std::vector<std::vector<Line>> sets_;
+    MshrFile mshrs_;
+    Stats stats_;
+
+    Tick portTick_ = maxTick;   ///< cycle of last port reservation
+    int portsUsed_ = 0;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_CACHE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory-hierarchy configuration records. Default values follow Table 1
+ * of the paper (base simulated configuration, 500 MHz processor clock).
+ * All latencies are in processor cycles.
+ */
+
+#ifndef MPC_MEM_CONFIG_HH
+#define MPC_MEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mpc::mem
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 16 * 1024;
+    int assoc = 1;                  ///< 1 = direct mapped
+    int lineBytes = 64;
+    int numMshrs = 10;
+    int numPorts = 2;               ///< upper-side accesses per cycle
+    Tick hitLatency = 1;            ///< lookup-to-data for a hit
+    Tick fillLatency = 1;           ///< line install + target notify
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(lineBytes) * assoc);
+    }
+};
+
+/** Memory-bank interleaving policy (Table 1 vs. Exemplar's skewing). */
+enum class Interleave {
+    Sequential,     ///< bank = line index mod banks
+    Permutation,    ///< XOR-folded permutation (Sohi), base config
+    Skewed,         ///< row-skewed (Harper & Jump), Exemplar-like config
+};
+
+/** Main-memory and bus parameters. */
+struct MemBusConfig
+{
+    int numBanks = 4;
+    Interleave interleave = Interleave::Permutation;
+    Tick bankAccessLatency = 54;    ///< bank busy time per line access
+    int cpuCyclesPerBusCycle = 3;   ///< 500 MHz CPU / 167 MHz bus
+    int busWidthBytes = 32;         ///< 256-bit data bus
+    Tick busArbLatency = 1;         ///< bus cycles for request phase
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_CONFIG_HH

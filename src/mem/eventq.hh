@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Global discrete-event queue used by the memory system. The processor
+ * cores are cycle-stepped; memory-side latencies (cache fills, bus and
+ * bank occupancy) are modeled as events on this queue, drained at the
+ * start of every core cycle.
+ */
+
+#ifndef MPC_MEM_EVENTQ_HH
+#define MPC_MEM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mpc::mem
+{
+
+/**
+ * Time-ordered event queue. Events scheduled for the same tick run in
+ * scheduling order (stable), keeping simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time (last tick run). */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, Callback fn)
+    {
+        MPC_ASSERT(when >= now_, "event scheduled in the past");
+        events_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Tick of the earliest pending event (maxTick if none). */
+    Tick
+    nextEventTick() const
+    {
+        return events_.empty() ? maxTick : events_.top().when;
+    }
+
+    /**
+     * Run all events with tick <= @p until, then set now to @p until.
+     * Events may schedule further events (also run if within range).
+     */
+    void
+    advanceTo(Tick until)
+    {
+        MPC_ASSERT(until >= now_, "advanceTo into the past");
+        while (!events_.empty() && events_.top().when <= until) {
+            // Copy out before pop so the callback can schedule new events.
+            Event ev = events_.top();
+            events_.pop();
+            now_ = ev.when;
+            ev.fn();
+        }
+        now_ = until;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * A serially reusable resource (bus, memory bank, cache port group)
+ * modeled as a busy-until timeline: a reservation at time t for d ticks
+ * is granted at max(t, nextFree) and pushes nextFree to grant + d.
+ */
+class TimelineResource
+{
+  public:
+    /** Reserve the resource for @p duration ticks no earlier than
+     *  @p earliest. @return the tick the reservation starts. */
+    Tick
+    reserve(Tick earliest, Tick duration)
+    {
+        const Tick start = std::max(earliest, nextFree_);
+        nextFree_ = start + duration;
+        busyTicks_ += duration;
+        return start;
+    }
+
+    /** Next tick at which the resource is free. */
+    Tick nextFree() const { return nextFree_; }
+
+    /** Total ticks of reserved (busy) time, for utilization stats. */
+    Tick busyTicks() const { return busyTicks_; }
+
+  private:
+    Tick nextFree_ = 0;
+    Tick busyTicks_ = 0;
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_EVENTQ_HH

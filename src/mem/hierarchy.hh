@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-node cache hierarchy facade: a write-through L1 over a
+ * write-back, write-allocate L2 (base configuration), or a single-level
+ * cache (Exemplar-like configuration). Exposes the CPU-side load/store
+ * interface and wires inclusion back-invalidations.
+ */
+
+#ifndef MPC_MEM_HIERARCHY_HH
+#define MPC_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/eventq.hh"
+
+namespace mpc::mem
+{
+
+/**
+ * The cache stack of one processor node.
+ */
+class MemHierarchy
+{
+  public:
+    struct Config
+    {
+        CacheConfig l1;
+        CacheConfig l2;
+        bool singleLevel = false;   ///< Exemplar-like: one cache level
+        bool coherent = false;      ///< multiprocessor: probes expected
+    };
+
+    MemHierarchy(EventQueue &eq, const Config &cfg);
+
+    /** Wire the port below the lowest cache level (not owned). */
+    void setDownstream(DownstreamPort *down);
+
+    /** CPU-side load. Completion carries the data-ready tick. */
+    Cache::Status load(Addr addr, std::uint32_t ref_id, CompletionFn done);
+
+    /** CPU-side store (issued from the processor write buffer). */
+    Cache::Status store(Addr addr, std::uint32_t ref_id, CompletionFn done);
+
+    /** The cache holding this node's coherence state (lowest level). */
+    Cache &coherenceCache() { return *lowest_; }
+
+    Cache &l1() { return *l1_; }
+    /** L2 in the two-level configuration; the single cache otherwise. */
+    Cache &l2() { return *lowest_; }
+    bool singleLevel() const { return singleLevel_; }
+
+    void finalizeStats(Tick now);
+
+  private:
+    /** Adapter presenting the L2 as the L1's downstream port. */
+    class L1Below : public DownstreamPort
+    {
+      public:
+        explicit L1Below(Cache &l2) : l2_(l2) {}
+        bool
+        request(Addr line_addr, bool exclusive,
+                std::function<void()> on_fill) override
+        {
+            return l2_.lineRequest(line_addr, exclusive,
+                                   std::move(on_fill)) ==
+                   Cache::Status::Ok;
+        }
+        void
+        writeback(Addr line_addr) override
+        {
+            (void)line_addr;
+            panic("write-through L1 must not write back");
+        }
+
+      private:
+        Cache &l2_;
+    };
+
+    bool singleLevel_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2Cache_;
+    std::unique_ptr<L1Below> l1Below_;
+    Cache *lowest_ = nullptr;
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_HIERARCHY_HH

@@ -1,0 +1,116 @@
+#include "mem/mainmem.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::mem
+{
+
+int
+bankOf(std::uint64_t line_index, int num_banks, Interleave policy)
+{
+    MPC_ASSERT(num_banks > 0, "no banks");
+    switch (policy) {
+      case Interleave::Sequential:
+        return static_cast<int>(line_index % num_banks);
+      case Interleave::Permutation: {
+        // XOR-fold all log2(banks)-bit fields of the line index (Sohi's
+        // permutation-based interleaving): robust across strides.
+        MPC_ASSERT(isPowerOf2(static_cast<std::uint64_t>(num_banks)),
+                   "permutation interleave needs power-of-2 banks");
+        const int bits = log2Floor(static_cast<std::uint64_t>(num_banks));
+        std::uint64_t x = line_index;
+        std::uint64_t bank = 0;
+        while (x != 0) {
+            bank ^= x & (static_cast<std::uint64_t>(num_banks) - 1);
+            x >>= bits;
+        }
+        return static_cast<int>(bank);
+      }
+      case Interleave::Skewed:
+        // Row-skewing: consecutive "rows" start at shifted banks.
+        return static_cast<int>(
+            (line_index + line_index / num_banks) % num_banks);
+    }
+    panic("bankOf: bad interleave policy");
+}
+
+MainMemory::MainMemory(EventQueue &eq, MemBusConfig cfg, int line_bytes)
+    : eq_(eq), cfg_(cfg), lineBytes_(line_bytes),
+      banks_(static_cast<size_t>(cfg.numBanks))
+{}
+
+Tick
+MainMemory::readAccessAt(Tick start, Addr line_addr)
+{
+    ++stats_.reads;
+    const std::uint64_t line_index = line_addr / lineBytes_;
+    const int bank = bankOf(line_index, cfg_.numBanks, cfg_.interleave);
+
+    // Request phase on the address channel.
+    const Tick req_dur = busCycles(cfg_.busArbLatency);
+    const Tick req_start = addrBus_.reserve(start, req_dur);
+    // Bank access.
+    const Tick bank_start = banks_[bank].reserve(req_start + req_dur,
+                                                 cfg_.bankAccessLatency);
+    // Data phase back over the data channel.
+    const int data_cycles = ceilDiv(lineBytes_, cfg_.busWidthBytes);
+    const Tick data_dur = busCycles(data_cycles);
+    const Tick data_start =
+        dataBus_.reserve(bank_start + cfg_.bankAccessLatency, data_dur);
+    return data_start + data_dur;
+}
+
+Tick
+MainMemory::writeAccessAt(Tick start, Addr line_addr)
+{
+    ++stats_.writes;
+    const std::uint64_t line_index = line_addr / lineBytes_;
+    const int bank = bankOf(line_index, cfg_.numBanks, cfg_.interleave);
+
+    // Data phase over the data channel, then the bank absorbs the write.
+    const int data_cycles = ceilDiv(lineBytes_, cfg_.busWidthBytes);
+    const Tick data_dur = busCycles(data_cycles);
+    const Tick data_start = dataBus_.reserve(start, data_dur);
+    const Tick bank_start = banks_[bank].reserve(data_start + data_dur,
+                                                 cfg_.bankAccessLatency);
+    return bank_start + cfg_.bankAccessLatency;
+}
+
+bool
+MainMemory::request(Addr line_addr, bool exclusive,
+                    std::function<void()> on_fill)
+{
+    (void)exclusive;  // no coherence below a uniprocessor L2
+    const Tick done = readAccessAt(eq_.now(), line_addr);
+    eq_.schedule(done, std::move(on_fill));
+    return true;
+}
+
+void
+MainMemory::writeback(Addr line_addr)
+{
+    writeAccessAt(eq_.now(), line_addr);
+}
+
+double
+MainMemory::busUtilization(Tick total) const
+{
+    // Data-channel utilization: the bandwidth-limiting phase.
+    return total == 0
+               ? 0.0
+               : static_cast<double>(dataBus_.busyTicks()) / total;
+}
+
+double
+MainMemory::bankUtilization(Tick total) const
+{
+    if (total == 0 || banks_.empty())
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &bank : banks_)
+        busy += bank.busyTicks();
+    return static_cast<double>(busy) /
+           (static_cast<double>(total) * banks_.size());
+}
+
+} // namespace mpc::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Main memory behind a split-transaction bus: interleaved banks with
+ * configurable mapping (sequential, XOR-permutation per Sohi, or
+ * row-skewed per Harper & Jump — the Exemplar's policy). Models
+ * occupancy-based contention on the bus and each bank.
+ */
+
+#ifndef MPC_MEM_MAINMEM_HH
+#define MPC_MEM_MAINMEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/eventq.hh"
+
+namespace mpc::mem
+{
+
+/** Map a line index to a bank under the given policy. */
+int bankOf(std::uint64_t line_index, int num_banks, Interleave policy);
+
+/**
+ * A memory module (bus + banks) implementing DownstreamPort. One
+ * instance serves a uniprocessor; the multiprocessor gives each node a
+ * slice (the coherence controller sits in front).
+ */
+class MainMemory : public DownstreamPort
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    MainMemory(EventQueue &eq, MemBusConfig cfg, int line_bytes);
+
+    // DownstreamPort
+    bool request(Addr line_addr, bool exclusive,
+                 std::function<void()> on_fill) override;
+    void writeback(Addr line_addr) override;
+
+    /**
+     * Timing core shared with the coherence controller: perform a read
+     * of @p line_addr starting no earlier than @p start; @return the
+     * tick at which the data has fully crossed the bus.
+     */
+    Tick readAccessAt(Tick start, Addr line_addr);
+
+    /** Same for a (posted) write; @return bank-done tick. */
+    Tick writeAccessAt(Tick start, Addr line_addr);
+
+    const Stats &stats() const { return stats_; }
+
+    /** Bus utilization over @p total ticks of simulation. */
+    double busUtilization(Tick total) const;
+
+    /** Mean bank utilization over @p total ticks. */
+    double bankUtilization(Tick total) const;
+
+  private:
+    Tick busCycles(int n) const
+    {
+        return static_cast<Tick>(n) * cfg_.cpuCyclesPerBusCycle;
+    }
+
+    EventQueue &eq_;
+    MemBusConfig cfg_;
+    int lineBytes_;
+    /** Split-transaction bus: independent address and data channels. */
+    TimelineResource addrBus_;
+    TimelineResource dataBus_;
+    std::vector<TimelineResource> banks_;
+    Stats stats_;
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_MAINMEM_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Miss status holding registers (MSHRs).
+ *
+ * The MSHR file is the hardware resource whose depth bounds memory
+ * parallelism: the paper's lp parameter. A second access to a line with
+ * an outstanding miss coalesces into the existing entry — the run-time
+ * realization of a cache-line dependence. Occupancy is tracked with
+ * time-weighted histograms split into "read-occupied" and "total",
+ * which is exactly the data plotted in Figure 4.
+ */
+
+#ifndef MPC_MEM_MSHR_HH
+#define MPC_MEM_MSHR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mpc::mem
+{
+
+/** Callback invoked when an access completes, with the completion tick. */
+using CompletionFn = std::function<void(Tick)>;
+
+/** One coalesced requester waiting on an in-flight line. */
+struct MshrTarget
+{
+    bool isLoad = true;
+    std::uint32_t refId = 0xffffffff;
+    CompletionFn onComplete;
+};
+
+/**
+ * The MSHR file of one cache.
+ */
+class MshrFile
+{
+  public:
+    /** Handle of an allocated entry. */
+    using Id = int;
+    static constexpr Id invalidId = -1;
+
+    explicit MshrFile(int num_entries)
+        : entries_(static_cast<size_t>(num_entries)),
+          readOccupancy_(num_entries), totalOccupancy_(num_entries)
+    {}
+
+    /** Find the entry holding @p line_addr, or invalidId. */
+    Id
+    find(Addr line_addr) const
+    {
+        for (size_t i = 0; i < entries_.size(); ++i)
+            if (entries_[i].valid && entries_[i].lineAddr == line_addr)
+                return static_cast<Id>(i);
+        return invalidId;
+    }
+
+    /** True if no free entry remains. */
+    bool
+    full() const
+    {
+        for (const auto &e : entries_)
+            if (!e.valid)
+                return false;
+        return true;
+    }
+
+    /** Number of valid entries. */
+    int
+    occupancy() const
+    {
+        int n = 0;
+        for (const auto &e : entries_)
+            n += e.valid;
+        return n;
+    }
+
+    /** Number of valid entries with at least one load target. */
+    int
+    readOccupancy() const
+    {
+        int n = 0;
+        for (const auto &e : entries_)
+            n += e.valid && e.hasRead;
+        return n;
+    }
+
+    /**
+     * Allocate an entry for @p line_addr at time @p now.
+     * Caller must have checked full().
+     */
+    Id
+    allocate(Tick now, Addr line_addr, bool exclusive)
+    {
+        recordOccupancy(now);
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (!entries_[i].valid) {
+                Entry &e = entries_[i];
+                e.valid = true;
+                e.lineAddr = line_addr;
+                e.exclusive = exclusive;
+                e.hasRead = false;
+                e.issued = false;
+                e.allocTick = now;
+                e.targets.clear();
+                return static_cast<Id>(i);
+            }
+        }
+        panic("MshrFile::allocate on full file");
+    }
+
+    /** Add a coalesced target to entry @p id at time @p now. */
+    void
+    addTarget(Tick now, Id id, MshrTarget target)
+    {
+        Entry &e = entry(id);
+        if (target.isLoad && !e.hasRead) {
+            recordOccupancy(now);
+            e.hasRead = true;
+        }
+        e.targets.push_back(std::move(target));
+    }
+
+    /** Record that the write-intent bit must be set (store coalesced). */
+    void
+    setExclusive(Id id)
+    {
+        entry(id).exclusive = true;
+    }
+
+    bool exclusive(Id id) const { return entry(id).exclusive; }
+    Addr lineAddr(Id id) const { return entry(id).lineAddr; }
+    Tick allocTick(Id id) const { return entry(id).allocTick; }
+
+    /** Downstream-request bookkeeping. */
+    bool issued(Id id) const { return entry(id).issued; }
+    void markIssued(Id id) { entry(id).issued = true; }
+
+    /**
+     * Free entry @p id at time @p now, returning its targets for
+     * notification (moved out).
+     */
+    std::vector<MshrTarget>
+    deallocate(Tick now, Id id)
+    {
+        Entry &e = entry(id);
+        MPC_ASSERT(e.valid, "deallocate of invalid MSHR");
+        recordOccupancy(now);
+        e.valid = false;
+        return std::move(e.targets);
+    }
+
+    /** Flush occupancy accounting up to @p now (call at end of sim). */
+    void finalizeStats(Tick now) { recordOccupancy(now); }
+
+    /** Figure 4(a): time-weighted histogram of read-occupied MSHRs. */
+    const OccupancyHistogram &readHistogram() const { return readOccupancy_; }
+
+    /** Figure 4(b): time-weighted histogram of total occupied MSHRs. */
+    const OccupancyHistogram &totalHistogram() const
+    {
+        return totalOccupancy_;
+    }
+
+    int numEntries() const { return static_cast<int>(entries_.size()); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool exclusive = false;     ///< write intent (fetch-exclusive)
+        bool hasRead = false;       ///< any load target (Fig 4(a) metric)
+        bool issued = false;        ///< downstream request sent
+        Addr lineAddr = invalidAddr;
+        Tick allocTick = 0;
+        std::vector<MshrTarget> targets;
+    };
+
+    Entry &
+    entry(Id id)
+    {
+        MPC_ASSERT(id >= 0 && id < static_cast<Id>(entries_.size()),
+                   "bad MSHR id");
+        return entries_[static_cast<size_t>(id)];
+    }
+
+    const Entry &
+    entry(Id id) const
+    {
+        return const_cast<MshrFile *>(this)->entry(id);
+    }
+
+    /** Charge elapsed time to the occupancy levels in effect since the
+     *  last transition. */
+    void
+    recordOccupancy(Tick now)
+    {
+        MPC_ASSERT(now >= lastChange_, "occupancy time went backwards");
+        const Tick elapsed = now - lastChange_;
+        if (elapsed > 0) {
+            readOccupancy_.record(readOccupancy(), elapsed);
+            totalOccupancy_.record(occupancy(), elapsed);
+        }
+        lastChange_ = now;
+    }
+
+    std::vector<Entry> entries_;
+    OccupancyHistogram readOccupancy_;
+    OccupancyHistogram totalOccupancy_;
+    Tick lastChange_ = 0;
+};
+
+} // namespace mpc::mem
+
+#endif // MPC_MEM_MSHR_HH

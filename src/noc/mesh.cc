@@ -1,0 +1,77 @@
+#include "noc/mesh.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::noc
+{
+
+Mesh::Mesh(int num_nodes, const MeshConfig &cfg)
+    : numNodes_(num_nodes), cfg_(cfg)
+{
+    MPC_ASSERT(num_nodes >= 1, "mesh needs at least one node");
+    // Near-square factorization: largest w <= sqrt(n) dividing n.
+    width_ = 1;
+    for (int w = 1; w * w <= num_nodes; ++w)
+        if (num_nodes % w == 0)
+            width_ = num_nodes / w;
+    height_ = num_nodes / width_;
+    links_.resize(static_cast<size_t>(num_nodes) * 4);
+}
+
+int
+Mesh::hopCount(NodeId src, NodeId dst) const
+{
+    const int sx = src % width_, sy = src / width_;
+    const int dx = dst % width_, dy = dst / width_;
+    return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+Tick
+Mesh::send(Tick start, NodeId src, NodeId dst, int flits)
+{
+    MPC_ASSERT(src >= 0 && src < numNodes_ && dst >= 0 && dst < numNodes_,
+               "node id out of range");
+    if (src == dst)
+        return start;  // node-internal transfer
+
+    const Tick occ = static_cast<Tick>(flits) * cfg_.cpuCyclesPerNetCycle;
+    const Tick hop_delay = static_cast<Tick>(cfg_.hopDelayNetCycles) *
+                           cfg_.cpuCyclesPerNetCycle;
+
+    int x = src % width_, y = src / width_;
+    const int dx = dst % width_, dy = dst / width_;
+    Tick t = start;
+    int node = src;
+    while (x != dx || y != dy) {
+        int dir;
+        if (x < dx) {
+            dir = 0;
+            ++x;
+        } else if (x > dx) {
+            dir = 1;
+            --x;
+        } else if (y < dy) {
+            dir = 2;
+            ++y;
+        } else {
+            dir = 3;
+            --y;
+        }
+        // Serialize the message onto this link, then incur the hop delay.
+        const Tick begin = links_[linkIndex(node, dir)].reserve(t, occ);
+        t = begin + occ + hop_delay;
+        node = y * width_ + x;
+    }
+    return t;
+}
+
+Tick
+Mesh::totalLinkBusy() const
+{
+    Tick busy = 0;
+    for (const auto &link : links_)
+        busy += link.busyTicks();
+    return busy;
+}
+
+} // namespace mpc::noc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Interconnect transports for the multiprocessor: a 2D wormhole mesh
+ * with XY routing (the base CC-NUMA configuration, Table 1: 64-bit
+ * links, 2 network cycles of delay per hop) and a shared split bus (the
+ * Exemplar-like SMP configuration). Contention is modeled by per-link
+ * occupancy timelines.
+ */
+
+#ifndef MPC_NOC_MESH_HH
+#define MPC_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/eventq.hh"
+
+namespace mpc::noc
+{
+
+/** Abstract message transport between nodes. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Send a @p flits -flit message from @p src to @p dst, starting no
+     * earlier than @p start. @return the arrival tick at @p dst.
+     */
+    virtual Tick send(Tick start, NodeId src, NodeId dst, int flits) = 0;
+
+    /** Flits needed for a control message (header only). */
+    static constexpr int controlFlits = 1;
+
+    /** Flits for a data message carrying @p line_bytes of data over
+     *  @p flit_bytes -wide links. */
+    static int
+    dataFlits(int line_bytes, int flit_bytes)
+    {
+        return 1 + static_cast<int>(ceilDiv(line_bytes, flit_bytes));
+    }
+};
+
+struct MeshConfig
+{
+    int flitBytes = 8;              ///< 64-bit links
+    int cpuCyclesPerNetCycle = 2;   ///< 500 MHz CPU / 250 MHz mesh
+    int hopDelayNetCycles = 2;      ///< per-hop flit delay (Table 1)
+};
+
+/**
+ * 2D mesh with dimension-order (XY) routing. Node n sits at
+ * (n % width, n / width); width is chosen as the smallest power-of-two
+ * split giving a near-square grid.
+ */
+class Mesh : public Transport
+{
+  public:
+    Mesh(int num_nodes, const MeshConfig &cfg);
+
+    Tick send(Tick start, NodeId src, NodeId dst, int flits) override;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Number of hops on the XY route (for tests). */
+    int hopCount(NodeId src, NodeId dst) const;
+
+    /** Aggregate link-busy ticks (utilization numerator). */
+    Tick totalLinkBusy() const;
+
+  private:
+    /** Directed link index from @p node toward direction @p dir
+     *  (0=+x, 1=-x, 2=+y, 3=-y). */
+    size_t
+    linkIndex(int node, int dir) const
+    {
+        return static_cast<size_t>(node) * 4 + static_cast<size_t>(dir);
+    }
+
+    int numNodes_;
+    int width_;
+    int height_;
+    MeshConfig cfg_;
+    std::vector<mem::TimelineResource> links_;
+};
+
+struct SharedBusConfig
+{
+    int busWidthBytes = 8;
+    int cpuCyclesPerBusCycle = 3;
+    Tick arbCycles = 1;             ///< per message, in bus cycles
+};
+
+/**
+ * A single shared split-transaction bus connecting all nodes (SMP).
+ */
+class SharedBus : public Transport
+{
+  public:
+    explicit SharedBus(const SharedBusConfig &cfg) : cfg_(cfg) {}
+
+    Tick
+    send(Tick start, NodeId src, NodeId dst, int flits) override
+    {
+        (void)src;
+        (void)dst;
+        const Tick occ = static_cast<Tick>(
+            (cfg_.arbCycles + flits) * cfg_.cpuCyclesPerBusCycle);
+        const Tick begin = bus_.reserve(start, occ);
+        return begin + occ;
+    }
+
+    Tick busyTicks() const { return bus_.busyTicks(); }
+
+  private:
+    SharedBusConfig cfg_;
+    mem::TimelineResource bus_;
+};
+
+} // namespace mpc::noc
+
+#endif // MPC_NOC_MESH_HH

@@ -1,0 +1,102 @@
+#include "system/config.hh"
+
+namespace mpc::sys
+{
+
+SystemConfig
+baseConfig(std::uint64_t l2_bytes)
+{
+    SystemConfig cfg;
+    cfg.name = "base-500MHz";
+    cfg.nsPerCycle = 2.0;
+
+    // Core: Table 1 defaults already encoded in CoreConfig.
+
+    cfg.hier.l1.name = "L1D";
+    cfg.hier.l1.sizeBytes = 16 * 1024;
+    cfg.hier.l1.assoc = 1;
+    cfg.hier.l1.lineBytes = 64;
+    cfg.hier.l1.numMshrs = 10;
+    cfg.hier.l1.numPorts = 2;
+    cfg.hier.l1.hitLatency = 1;
+
+    cfg.hier.l2.name = "L2";
+    cfg.hier.l2.sizeBytes = l2_bytes;
+    cfg.hier.l2.assoc = 4;
+    cfg.hier.l2.lineBytes = 64;
+    cfg.hier.l2.numMshrs = 10;
+    cfg.hier.l2.numPorts = 1;
+    cfg.hier.l2.hitLatency = 10;
+
+    cfg.membus.numBanks = 4;
+    cfg.membus.interleave = mem::Interleave::Permutation;
+    cfg.membus.bankAccessLatency = 74;
+    cfg.membus.cpuCyclesPerBusCycle = 3;   // 167 MHz bus
+    cfg.membus.busWidthBytes = 32;         // 256-bit
+
+    cfg.mesh.flitBytes = 8;                // 64-bit links
+    cfg.mesh.cpuCyclesPerNetCycle = 2;     // 250 MHz mesh
+    cfg.mesh.hopDelayNetCycles = 2;
+
+    cfg.fabric.lineBytes = 64;
+    cfg.fabric.dirLatency = 12;
+    cfg.fabric.probeLatency = 50;
+    return cfg;
+}
+
+SystemConfig
+oneGHzConfig(std::uint64_t l2_bytes)
+{
+    SystemConfig cfg = baseConfig(l2_bytes);
+    cfg.name = "future-1GHz";
+    cfg.nsPerCycle = 1.0;
+    // Memory and interconnect keep their ns/MHz values, so their cycle
+    // counts double at twice the core clock. Processor-side latencies
+    // (FUs, L1, L2) scale with the core.
+    cfg.membus.bankAccessLatency *= 2;
+    cfg.membus.cpuCyclesPerBusCycle *= 2;
+    cfg.mesh.cpuCyclesPerNetCycle *= 2;
+    cfg.fabric.dirLatency *= 2;
+    cfg.fabric.probeLatency *= 2;
+    return cfg;
+}
+
+SystemConfig
+exemplarConfig(std::uint64_t cache_bytes)
+{
+    SystemConfig cfg;
+    cfg.name = "exemplar-180MHz";
+    cfg.nsPerCycle = 5.5556;               // 180 MHz PA-8000
+
+    cfg.core.windowSize = 56;
+    cfg.core.fetchWidth = 4;
+    cfg.core.issueWidth = 4;
+    cfg.core.retireWidth = 4;
+
+    cfg.hier.singleLevel = true;           // one off-chip data cache
+    cfg.hier.l1.name = "DCache";
+    cfg.hier.l1.sizeBytes = cache_bytes;
+    cfg.hier.l1.assoc = 4;
+    cfg.hier.l1.lineBytes = 32;
+    cfg.hier.l1.numMshrs = 10;             // 10 outstanding misses
+    cfg.hier.l1.numPorts = 2;
+    cfg.hier.l1.hitLatency = 3;            // off-chip SRAM
+
+    cfg.membus.numBanks = 8;
+    cfg.membus.interleave = mem::Interleave::Skewed;
+    cfg.membus.bankAccessLatency = 78;     // ~433 ns DRAM at 180 MHz
+    cfg.membus.cpuCyclesPerBusCycle = 2;   // ~90 MHz memory bus
+    cfg.membus.busWidthBytes = 8;
+
+    cfg.fabric.lineBytes = 32;
+    cfg.fabric.dirLatency = 10;
+    cfg.fabric.probeLatency = 8;
+
+    cfg.smpBus = true;
+    cfg.smp.busWidthBytes = 8;
+    cfg.smp.cpuCyclesPerBusCycle = 2;
+    cfg.smp.arbCycles = 1;
+    return cfg;
+}
+
+} // namespace mpc::sys

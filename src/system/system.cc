@@ -1,0 +1,158 @@
+#include "system/system.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::sys
+{
+
+namespace
+{
+
+/** Merge one cache's counters into an aggregate. */
+void
+mergeCacheStats(mem::Cache::Stats &into, const mem::Cache::Stats &from)
+{
+    into.loads += from.loads;
+    into.loadHits += from.loadHits;
+    into.loadMisses += from.loadMisses;
+    into.loadCoalesced += from.loadCoalesced;
+    into.writes += from.writes;
+    into.writeHits += from.writeHits;
+    into.writeMisses += from.writeMisses;
+    into.writeCoalesced += from.writeCoalesced;
+    into.upgrades += from.upgrades;
+    into.rejectsPort += from.rejectsPort;
+    into.rejectsMshr += from.rejectsMshr;
+    into.writebacks += from.writebacks;
+    into.fills += from.fills;
+    into.missLatency.merge(from.missLatency);
+    for (const auto &[ref_id, counts] : from.perRef) {
+        auto &agg = into.perRef[ref_id];
+        agg.accesses += counts.accesses;
+        agg.misses += counts.misses;
+    }
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg,
+               std::vector<kisa::Program> programs,
+               kisa::MemoryImage &image,
+               const coherence::PlacementPolicy *placement)
+    : cfg_(cfg), programs_(std::move(programs)), image_(image)
+{
+    const int n = static_cast<int>(programs_.size());
+    MPC_ASSERT(n >= 1, "system needs at least one program");
+
+    sync_ = std::make_unique<cpu::SyncDevice>(n);
+
+    // Interconnect + coherence for multiprocessors.
+    noc::Transport *net = nullptr;
+    if (n > 1) {
+        if (cfg_.smpBus) {
+            smpBus_ = std::make_unique<noc::SharedBus>(cfg_.smp);
+            net = smpBus_.get();
+        } else {
+            mesh_ = std::make_unique<noc::Mesh>(n, cfg_.mesh);
+            net = mesh_.get();
+        }
+        const coherence::PlacementPolicy defaults(
+            n, cfg_.fabric.lineBytes);
+        fabric_ = std::make_unique<coherence::CoherenceFabric>(
+            eq_, n, cfg_.fabric, *net,
+            placement != nullptr ? *placement : defaults);
+    }
+
+    for (int i = 0; i < n; ++i) {
+        memories_.push_back(std::make_unique<mem::MainMemory>(
+            eq_, cfg_.membus, cfg_.hier.singleLevel
+                                  ? cfg_.hier.l1.lineBytes
+                                  : cfg_.hier.l2.lineBytes));
+
+        auto hier_cfg = cfg_.hier;
+        hier_cfg.coherent = n > 1;
+        hiers_.push_back(
+            std::make_unique<mem::MemHierarchy>(eq_, hier_cfg));
+
+        if (n > 1) {
+            hiers_.back()->setDownstream(fabric_->port(i));
+            fabric_->attachCache(i, &hiers_.back()->coherenceCache());
+            fabric_->attachMemory(i, memories_.back().get());
+        } else {
+            hiers_.back()->setDownstream(memories_.back().get());
+        }
+
+        cores_.push_back(std::make_unique<cpu::Core>(
+            i, eq_, cfg_.core, programs_[static_cast<size_t>(i)], image_,
+            *hiers_.back(), sync_.get()));
+    }
+}
+
+RunResult
+System::run(Tick max_cycles)
+{
+    const int n = numCores();
+    Tick cycle = eq_.now();
+    for (;;) {
+        bool all_done = true;
+        for (auto &core : cores_) {
+            if (!core->done()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (cycle >= max_cycles)
+            fatal("System::run exceeded %llu cycles - deadlock or "
+                  "runaway kernel?",
+                  static_cast<unsigned long long>(max_cycles));
+        eq_.advanceTo(cycle);
+        for (auto &core : cores_)
+            core->tick();
+        ++cycle;
+    }
+
+    // Collect results.
+    RunResult res;
+    res.nsPerCycle = cfg_.nsPerCycle;
+    res.l2ReadMshr = OccupancyHistogram(
+        hiers_[0]->l2().config().numMshrs);
+    res.l2TotalMshr = OccupancyHistogram(
+        hiers_[0]->l2().config().numMshrs);
+
+    const int rw = cfg_.core.retireWidth;
+    for (int i = 0; i < n; ++i) {
+        const auto &cs = cores_[static_cast<size_t>(i)]->stats();
+        res.cores.push_back(cs);
+        res.cycles = std::max(res.cycles, cs.doneTick);
+        res.instructions += cs.retired;
+        res.busyCycles += static_cast<double>(cs.busySlots) / rw / n;
+        res.dataReadCycles +=
+            static_cast<double>(cs.dataReadSlots) / rw / n;
+        res.dataWriteCycles +=
+            static_cast<double>(cs.dataWriteSlots) / rw / n;
+        res.syncCycles += static_cast<double>(cs.syncSlots) / rw / n;
+        res.cpuCycles += static_cast<double>(cs.cpuSlots) / rw / n;
+
+        auto &hier = *hiers_[static_cast<size_t>(i)];
+        hier.finalizeStats(eq_.now());
+        if (!hier.singleLevel())
+            mergeCacheStats(res.l1, hier.l1().stats());
+        mergeCacheStats(res.l2, hier.l2().stats());
+        res.l2ReadMshr.merge(hier.l2().mshrs().readHistogram());
+        res.l2TotalMshr.merge(hier.l2().mshrs().totalHistogram());
+
+        res.busUtilization = std::max(
+            res.busUtilization,
+            memories_[static_cast<size_t>(i)]->busUtilization(eq_.now()));
+        res.bankUtilization = std::max(
+            res.bankUtilization,
+            memories_[static_cast<size_t>(i)]->bankUtilization(eq_.now()));
+    }
+    if (fabric_)
+        res.fabric = fabric_->stats();
+    return res;
+}
+
+} // namespace mpc::sys

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The clustering driver: the end-to-end algorithm of Sections 3.2.2
+ * and 3.3 applied to every innermost loop nest of a kernel.
+ *
+ * Per nest:
+ *  1. analyze; compute alpha and f;
+ *  2. if f < alpha*lp (or < lp with no recurrence) and the parent loop
+ *     can be unroll-and-jammed, binary-search the largest degree u <= U
+ *     with f(u) <= ceil(alpha*lp), re-running locality/dependence
+ *     analysis per candidate as Section 3.2.2 requires;
+ *  3. apply the transformation, interchanging the postlude when legal;
+ *  4. scalar replacement on the jammed body (the secondary benefit
+ *     unroll-and-jam was originally built for);
+ *  5. window constraints: when the loop has no recurrence but too few
+ *     static misses per window span, inner-unroll to expose more
+ *     independent misses to the clustering-aware scheduler.
+ *
+ * The driver is deliberately restricted to information the analysis
+ * provides: leading references, recurrences, W, i, L_m, P_m, and lp.
+ */
+
+#ifndef MPC_TRANSFORM_DRIVER_HH
+#define MPC_TRANSFORM_DRIVER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "ir/kernel.hh"
+
+namespace mpc::transform
+{
+
+struct DriverParams
+{
+    int lp = 10;                ///< simultaneous outstanding misses
+    int windowSize = 64;        ///< W
+    int lineBytes = 64;
+    int maxUnroll = 16;         ///< U: code-expansion bound
+
+    /** Lowered-instruction-count estimator (wire the codegen one). */
+    std::function<int(const ir::Kernel &, const ir::Stmt &)> bodySize;
+    /** Profiled miss rate per refId for irregular references. */
+    std::function<double(int)> missRate;
+
+    bool enableScalarReplacement = true;
+    bool enablePostludeInterchange = true;
+    bool enableInnerUnroll = true;
+    int maxInnerUnroll = 8;
+};
+
+/** What the driver did to one loop nest. */
+struct NestReport
+{
+    std::string loopVar;
+    double alpha = 0.0;
+    bool addressRecurrence = false;
+    double fBefore = 0.0;
+    double fAfter = 0.0;
+    int unrollDegree = 1;       ///< chosen unroll-and-jam factor
+    int innerUnrollDegree = 1;
+    int fusedLoops = 0;         ///< sibling loops fused (Section 6)
+    int scalarsReplaced = 0;
+    bool postludeInterchanged = false;
+    std::string note;
+
+    std::string toString() const;
+};
+
+struct DriverReport
+{
+    std::vector<NestReport> nests;
+
+    /** refIds of leading references in the final transformed kernel
+     *  (for the codegen scheduler's miss-first packing). */
+    std::vector<int> leadingRefIds;
+
+    std::string toString() const;
+};
+
+/** Apply the clustering algorithm to every loop nest of @p kernel. */
+DriverReport applyClustering(ir::Kernel &kernel,
+                             const DriverParams &params);
+
+} // namespace mpc::transform
+
+#endif // MPC_TRANSFORM_DRIVER_HH

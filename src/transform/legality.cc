@@ -1,0 +1,199 @@
+#include "transform/legality.hh"
+
+#include <optional>
+#include <vector>
+
+#include "analysis/affine.hh"
+#include "common/logging.hh"
+
+namespace mpc::transform
+{
+
+using analysis::affineOf;
+using ir::Expr;
+using ir::Stmt;
+
+namespace
+{
+
+struct RefSite
+{
+    const Expr *expr;
+    bool isWrite;
+};
+
+void
+collectSites(const Stmt &stmt, std::vector<RefSite> &out)
+{
+    // Walk all expressions, tagging assignment-target roots as writes.
+    std::function<void(const Stmt &)> walk = [&](const Stmt &s) {
+        auto collect = [&out](const Expr &root, bool root_is_write) {
+            std::function<void(const Expr &, bool)> rec =
+                [&](const Expr &e, bool is_root) {
+                    if (e.isMemRef())
+                        out.push_back({&e, is_root && root_is_write});
+                    for (const auto &c : e.children)
+                        rec(*c, false);
+                };
+            rec(root, true);
+        };
+        if (s.kind == Stmt::Kind::Assign) {
+            collect(*s.rhs, false);
+            collect(*s.lhs, true);
+        } else if (s.kind == Stmt::Kind::PtrLoop && s.rhs) {
+            collect(*s.rhs, false);
+        }
+        for (const auto &child : s.body)
+            walk(*child);
+    };
+    out.clear();
+    walk(stmt);
+}
+
+/**
+ * Direction of the dependence between two same-array refs w.r.t. loop
+ * variable @p var: returns '=', '<', '>', '*' (unknown), or '0' for
+ * provably independent.
+ */
+char
+directionFor(const Expr &r1, const Expr &r2, const std::string &var)
+{
+    if (r1.kind != Expr::Kind::ArrayRef || r2.kind != Expr::Kind::ArrayRef)
+        return '*';
+    if (r1.array != r2.array)
+        return '0';
+    // Subscript-by-subscript.
+    char dir = '=';
+    for (size_t d = 0; d < r1.children.size(); ++d) {
+        auto f1 = affineOf(*r1.children[d]);
+        auto f2 = affineOf(*r2.children[d]);
+        if (!f1 || !f2)
+            return '*';
+        if (!f1->sameShape(*f2))
+            return '*';
+        const std::int64_t coef = f1->coef(var);
+        const std::int64_t delta = f2->c - f1->c;
+        if (coef == 0) {
+            // This dimension does not constrain var; an unequal
+            // constant here means the refs never overlap at all.
+            bool other_vars = false;
+            for (const auto &[v, k] : f1->coefs)
+                if (k != 0 && v != var)
+                    other_vars = true;
+            if (delta != 0 && !other_vars)
+                return '0';
+            continue;
+        }
+        if (delta % coef != 0)
+            return '0';     // no integer solution: independent
+        const std::int64_t dist = delta / coef;
+        const char this_dir = dist == 0 ? '=' : dist > 0 ? '<' : '>';
+        if (dir == '=')
+            dir = this_dir;
+        else if (this_dir != '=' && this_dir != dir)
+            return '0';     // contradictory constraints: independent
+    }
+    return dir;
+}
+
+/** True if a (<, >)-direction dependence may exist for (outer, inner). */
+bool
+hasInterchangePreventingDep(const Stmt &outer, const Stmt &inner)
+{
+    std::vector<RefSite> sites;
+    collectSites(outer, sites);
+    for (size_t a = 0; a < sites.size(); ++a) {
+        for (size_t b = 0; b < sites.size(); ++b) {
+            if (a == b || (!sites[a].isWrite && !sites[b].isWrite))
+                continue;
+            const Expr &r1 = *sites[a].expr;
+            const Expr &r2 = *sites[b].expr;
+            if (r1.kind != Expr::Kind::ArrayRef ||
+                r2.kind != Expr::Kind::ArrayRef) {
+                // Pointer refs: unanalyzable; be conservative.
+                if (r1.kind == Expr::Kind::Deref ||
+                    r2.kind == Expr::Kind::Deref)
+                    return true;
+                continue;
+            }
+            if (r1.array != r2.array)
+                continue;
+            const char od = directionFor(r1, r2, outer.var);
+            if (od == '0')
+                continue;
+            const char id = directionFor(r1, r2, inner.var);
+            if (id == '0')
+                continue;
+            const bool outer_lt = od == '<' || od == '*';
+            const bool inner_gt = id == '>' || id == '*';
+            if (outer_lt && inner_gt)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** The single nested loop of @p outer, or null. */
+const Stmt *
+soleInnerLoop(const Stmt &outer)
+{
+    const Stmt *inner = nullptr;
+    for (const auto &child : outer.body) {
+        if (child->kind == Stmt::Kind::Loop ||
+            child->kind == Stmt::Kind::PtrLoop ||
+            child->kind == Stmt::Kind::While) {
+            if (inner != nullptr)
+                return nullptr;
+            inner = child.get();
+        }
+    }
+    return inner;
+}
+
+} // namespace
+
+bool
+canUnrollAndJam(const ir::Stmt &outer)
+{
+    if (outer.kind != Stmt::Kind::Loop)
+        return false;
+    if (outer.parallel)
+        return true;
+    const Stmt *inner = soleInnerLoop(outer);
+    if (inner == nullptr)
+        return false;
+    return !hasInterchangePreventingDep(outer, *inner);
+}
+
+bool
+canInterchange(const ir::Stmt &outer)
+{
+    if (outer.kind != Stmt::Kind::Loop)
+        return false;
+    const Stmt *inner = soleInnerLoop(outer);
+    if (inner == nullptr || inner->kind != Stmt::Kind::Loop)
+        return false;
+    // The loops must be the only statements at their levels and their
+    // bounds must be independent of each other's variables.
+    if (outer.body.size() != 1)
+        return false;
+    auto uses_var = [](const ir::Expr &e, const std::string &v) {
+        bool found = false;
+        std::function<void(const ir::Expr &)> rec =
+            [&](const ir::Expr &x) {
+                if (x.kind == Expr::Kind::VarRef && x.var == v)
+                    found = true;
+                for (const auto &c : x.children)
+                    rec(*c);
+            };
+        rec(e);
+        return found;
+    };
+    if (uses_var(*inner->lo, outer.var) || uses_var(*inner->hi, outer.var))
+        return false;
+    if (outer.parallel || inner->parallel)
+        return true;
+    return !hasInterchangePreventingDep(outer, *inner);
+}
+
+} // namespace mpc::transform

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Conservative data-dependence legality tests for the clustering
+ * transformations. The memory-parallelism dependence framework of
+ * src/analysis deliberately estimates *performance*; legality uses the
+ * conventional (conservative) tests here, per Section 3.1 of the paper.
+ *
+ * The test implemented is subscript-by-subscript strong-SIV over affine
+ * references: it proves independence or derives per-loop dependence
+ * distances for matching-shape subscripts, and falls back to "assume
+ * dependence" otherwise. Loops explicitly marked `parallel` (the
+ * paper's assumption for Mp3d and MST) are always transformable.
+ */
+
+#ifndef MPC_TRANSFORM_LEGALITY_HH
+#define MPC_TRANSFORM_LEGALITY_HH
+
+#include <string>
+
+#include "ir/kernel.hh"
+
+namespace mpc::transform
+{
+
+/**
+ * Can @p outer (a counted loop directly containing @p inner) be
+ * unroll-and-jammed? True when the outer loop is marked parallel or
+ * when no dependence has an interchange-preventing (<, >) direction
+ * with respect to (outer, inner).
+ */
+bool canUnrollAndJam(const ir::Stmt &outer);
+
+/**
+ * Can @p outer be interchanged with its single nested loop? Requires
+ * the inner bounds to be independent of the outer variable, plus the
+ * same direction-vector condition as unroll-and-jam.
+ */
+bool canInterchange(const ir::Stmt &outer);
+
+} // namespace mpc::transform
+
+#endif // MPC_TRANSFORM_LEGALITY_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Em3d (Split-C): electromagnetic wave propagation on a bipartite
+ * graph. Each E node gathers from `deg` H nodes through an edge index
+ * list (and vice versa) — regular streams over the edge arrays plus
+ * irregular gathers through them (cache-line and address dependences,
+ * but only cache-line recurrences, as the paper notes).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeEm3d(const SizeParams &size)
+{
+    const std::int64_t nodes = size.scale <= 1 ? 256
+                               : size.scale == 2 ? 2048 : 8192;
+    const std::int64_t deg = size.scale <= 1 ? 4 : 8;
+    const int iters = size.scale <= 1 ? 2 : 3;
+    const double remote_frac = 0.20;   // 20% remote, per Table 2
+
+    Workload w;
+    w.name = "em3d";
+    w.pattern = "indirect gathers; cache-line recurrences only";
+    w.defaultProcs = 16;
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "em3d";
+
+    Array *eval = w.kernel.addArray("eval", ScalType::F64, {nodes});
+    Array *hval = w.kernel.addArray("hval", ScalType::F64, {nodes});
+    Array *efrom =
+        w.kernel.addArray("efrom", ScalType::I64, {nodes, deg});
+    Array *ecoef =
+        w.kernel.addArray("ecoef", ScalType::F64, {nodes, deg});
+    Array *hfrom =
+        w.kernel.addArray("hfrom", ScalType::I64, {nodes, deg});
+    Array *hcoef =
+        w.kernel.addArray("hcoef", ScalType::F64, {nodes, deg});
+
+    auto gather = [&](Array *dst, Array *src, Array *from, Array *coef) {
+        // for n (parallel): for d:
+        //     dst[n] = dst[n] - coef[n][d] * src[from[n][d]]
+        auto body = block(assign(
+            aref(dst, subs(varref("n"))),
+            sub(aref(dst, subs(varref("n"))),
+                mul(aref(coef, subs(varref("n"), varref("d"))),
+                    aref(src, subs(aref(from, subs(varref("n"),
+                                                   varref("d")))))))));
+        auto dloop = forLoop("d", iconst(0), iconst(deg),
+                             std::move(body));
+        return forLoop("n", iconst(0), iconst(nodes),
+                       block(std::move(dloop)), 1, /*parallel=*/true);
+    };
+
+    auto tloop_body = block(gather(eval, hval, efrom, ecoef), barrier(),
+                            gather(hval, eval, hfrom, hcoef), barrier());
+    w.kernel.body.push_back(forLoop("t", iconst(0), iconst(iters),
+                                    std::move(tloop_body)));
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr eval_b = eval->base, hval_b = hval->base;
+    const Addr efrom_b = efrom->base, ecoef_b = ecoef->base;
+    const Addr hfrom_b = hfrom->base, hcoef_b = hcoef->base;
+    w.init = [nodes, deg, remote_frac, eval_b, hval_b, efrom_b, ecoef_b,
+              hfrom_b, hcoef_b](kisa::MemoryImage &mem) {
+        Rng rng(0xe3d);
+        auto fill = [&](Addr from_base, Addr coef_base, Addr val_base) {
+            for (std::int64_t n = 0; n < nodes; ++n) {
+                mem.stF64(val_base + Addr(n) * 8,
+                          rng.uniform() * 2.0 - 1.0);
+                for (std::int64_t d = 0; d < deg; ++d) {
+                    // Mostly-local neighbors with a 20% remote tail.
+                    std::int64_t src;
+                    if (rng.uniform() < remote_frac) {
+                        src = static_cast<std::int64_t>(
+                            rng.below(std::uint64_t(nodes)));
+                    } else {
+                        const std::int64_t radius = 32;
+                        const std::int64_t lo =
+                            std::max<std::int64_t>(0, n - radius);
+                        const std::int64_t hi = std::min<std::int64_t>(
+                            nodes, n + radius + 1);
+                        src = lo + static_cast<std::int64_t>(
+                                       rng.below(std::uint64_t(hi - lo)));
+                    }
+                    const Addr slot = Addr(n * deg + d) * 8;
+                    mem.st64(from_base + slot,
+                             static_cast<std::uint64_t>(src));
+                    mem.stF64(coef_base + slot,
+                              rng.uniform() * 0.01);
+                }
+            }
+        };
+        fill(efrom_b, ecoef_b, hval_b);
+        fill(hfrom_b, hcoef_b, eval_b);
+    };
+
+    w.place = [eval, hval, efrom, ecoef, hfrom, hcoef](
+                  coherence::PlacementPolicy &policy) {
+        for (const Array *a :
+             {eval, hval, efrom, ecoef, hfrom, hcoef})
+            policy.addBlockRegion(a->base, a->sizeBytes());
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * FFT (SPLASH-2 six-step flavor): an n = m*m point dataset viewed as an
+ * m x m complex matrix. Phases: blocked transpose, per-column radix-2
+ * butterfly stages, twiddle scaling, transpose, butterflies, final
+ * transpose. The transposes are the clustering targets (the paper's
+ * "block 8" input); the butterfly stages contribute scalar-replacement
+ * and CPU benefits.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+namespace
+{
+
+/** Blocked transpose dst[j][i] = src[i][j], block b. */
+StmtPtr
+blockedTranspose(Array *dst_re, Array *dst_im, Array *src_re,
+                 Array *src_im, std::int64_t m, std::int64_t b)
+{
+    auto body = block(
+        assign(aref(dst_re, subs(varref("j"), varref("i"))),
+               aref(src_re, subs(varref("i"), varref("j")))),
+        assign(aref(dst_im, subs(varref("j"), varref("i"))),
+               aref(src_im, subs(varref("i"), varref("j")))));
+    auto iloop = forLoop("i", varref("ib"),
+                         add(varref("ib"), iconst(b)), std::move(body));
+    auto jloop = forLoop("j", varref("jb"),
+                         add(varref("jb"), iconst(b)),
+                         block(std::move(iloop)));
+    auto ibloop = forLoop("ib", iconst(0), iconst(m),
+                          block(std::move(jloop)), b);
+    return forLoop("jb", iconst(0), iconst(m),
+                   block(std::move(ibloop)), b, /*parallel=*/true);
+}
+
+/**
+ * Radix-2 butterfly stages applied to all m columns at once (the
+ * vectorized multi-column form): for each stage s, for each pair
+ * index g (parallel), the innermost loop runs over columns c — so the
+ * four row accesses are unit-stride regular streams, the twiddle is
+ * loop-invariant (scalar replacement), and unroll-and-jam over g can
+ * cluster the row misses. half = halftab[s]; the pair/twiddle indexing
+ * uses Div/Mod on g outside the inner loop.
+ */
+StmtPtr
+columnButterflies(Array *re, Array *im, Array *tw_re, Array *tw_im,
+                  Array *halftab, std::int64_t m, int stages)
+{
+    // p0 = (g / half) * 2 * half + (g % half); p1 = p0 + half
+    // w = (g % half) * (m / (2 * half))
+    auto g_div = [] { return divx(varref("g"), varref("half")); };
+    auto g_mod = [] { return modx(varref("g"), varref("half")); };
+    auto cbody = block(
+        assign(varref("ar"), aref(re, subs(varref("p0"), varref("c")))),
+        assign(varref("ai"), aref(im, subs(varref("p0"), varref("c")))),
+        assign(varref("br"), aref(re, subs(varref("p1"), varref("c")))),
+        assign(varref("bi"), aref(im, subs(varref("p1"), varref("c")))),
+        // t = w * b (complex); a' = a + t; b' = a - t
+        assign(varref("tr"), sub(mul(varref("wr"), varref("br")),
+                                 mul(varref("wim"), varref("bi")))),
+        assign(varref("ti"), add(mul(varref("wr"), varref("bi")),
+                                 mul(varref("wim"), varref("br")))),
+        assign(aref(re, subs(varref("p0"), varref("c"))),
+               add(varref("ar"), varref("tr"))),
+        assign(aref(im, subs(varref("p0"), varref("c"))),
+               add(varref("ai"), varref("ti"))),
+        assign(aref(re, subs(varref("p1"), varref("c"))),
+               sub(varref("ar"), varref("tr"))),
+        assign(aref(im, subs(varref("p1"), varref("c"))),
+               sub(varref("ai"), varref("ti"))));
+    auto cloop = forLoop("c", iconst(0), iconst(m), std::move(cbody));
+    auto gbody = block(
+        assign(varref("p0"),
+               add(mul(mul(g_div(), iconst(2)), varref("half")),
+                   g_mod())),
+        assign(varref("p1"), add(varref("p0"), varref("half"))),
+        assign(varref("wi"),
+               mul(g_mod(), divx(iconst(m / 2), varref("half")))),
+        assign(varref("wr"), aref(tw_re, subs(varref("wi")))),
+        assign(varref("wim"), aref(tw_im, subs(varref("wi")))),
+        std::move(cloop));
+    auto gloop = forLoop("g", iconst(0), iconst(m / 2),
+                         std::move(gbody), 1, /*parallel=*/true);
+    // Stage s+1 reads rows written by other processors' g-chunks at
+    // stage s: a barrier separates the stages.
+    return forLoop(
+        "s", iconst(0), iconst(stages),
+        block(assign(varref("half"),
+                     aref(halftab, subs(varref("s")))),
+              std::move(gloop), barrier()));
+}
+
+} // namespace
+
+Workload
+makeFft(const SizeParams &size)
+{
+    const std::int64_t m = size.scale <= 1 ? 16
+                           : size.scale == 2 ? 64 : 128;
+    const std::int64_t b = 8;  // transpose block, per Table 2
+    int stages = 0;
+    while ((std::int64_t(1) << (stages + 1)) <= m)
+        ++stages;
+
+    Workload w;
+    w.name = "fft";
+    w.pattern = "strided transposes + butterfly stages";
+    w.defaultProcs = 16;
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "fft";
+
+    Array *xre = w.kernel.addArray("xre", ScalType::F64, {m, m});
+    Array *xim = w.kernel.addArray("xim", ScalType::F64, {m, m});
+    Array *yre = w.kernel.addArray("yre", ScalType::F64, {m, m});
+    Array *yim = w.kernel.addArray("yim", ScalType::F64, {m, m});
+    Array *twre = w.kernel.addArray("twre", ScalType::F64, {m});
+    Array *twim = w.kernel.addArray("twim", ScalType::F64, {m});
+    Array *halftab = w.kernel.addArray("halftab", ScalType::I64,
+                                       {stages});
+    for (const char *v : {"half", "p0", "p1", "wi"})
+        w.kernel.declareScalar(v, ScalType::I64);
+    for (const char *v :
+         {"ar", "ai", "br", "bi", "wr", "wim", "tr", "ti"})
+        w.kernel.declareScalar(v, ScalType::F64);
+
+    // Six-step structure (data movement faithful; see file comment).
+    w.kernel.body.push_back(blockedTranspose(yre, yim, xre, xim, m, b));
+    w.kernel.body.push_back(barrier());
+    w.kernel.body.push_back(
+        columnButterflies(yre, yim, twre, twim, halftab, m, stages));
+    w.kernel.body.push_back(barrier());
+    w.kernel.body.push_back(blockedTranspose(xre, xim, yre, yim, m, b));
+    w.kernel.body.push_back(barrier());
+    w.kernel.body.push_back(
+        columnButterflies(xre, xim, twre, twim, halftab, m, stages));
+    w.kernel.body.push_back(barrier());
+    w.kernel.body.push_back(blockedTranspose(yre, yim, xre, xim, m, b));
+    w.kernel.body.push_back(barrier());
+
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr xre_b = xre->base, xim_b = xim->base;
+    const Addr twre_b = twre->base, twim_b = twim->base;
+    const Addr half_b = halftab->base;
+    w.init = [m, stages, xre_b, xim_b, twre_b, twim_b,
+              half_b](kisa::MemoryImage &mem) {
+        Rng rng(0xff7);
+        for (std::int64_t e = 0; e < m * m; ++e) {
+            mem.stF64(xre_b + Addr(e) * 8, rng.uniform() * 2.0 - 1.0);
+            mem.stF64(xim_b + Addr(e) * 8, rng.uniform() * 2.0 - 1.0);
+        }
+        for (std::int64_t e = 0; e < m; ++e) {
+            const double angle =
+                -2.0 * 3.14159265358979323846 *
+                static_cast<double>(e) / static_cast<double>(m);
+            mem.stF64(twre_b + Addr(e) * 8, std::cos(angle));
+            mem.stF64(twim_b + Addr(e) * 8, std::sin(angle));
+        }
+        for (int s = 0; s < stages; ++s)
+            mem.st64(half_b + Addr(s) * 8,
+                     static_cast<std::uint64_t>(1) << s);
+    };
+    w.place = [xre, xim, yre, yim](coherence::PlacementPolicy &policy) {
+        for (const Array *arr : {xre, xim, yre, yim})
+            policy.addBlockRegion(arr->base, arr->sizeBytes());
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Latbench (Section 4.2): lat_mem_rd's dependent pointer chase wrapped
+ * in an outer loop over independent chains with no locality within or
+ * across chains. The base version serializes every miss (the paper
+ * measures 171 ns per miss on the simulated system); unroll-and-jam of
+ * the outer chain loop overlaps lp chases.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeLatbench(const SizeParams &size)
+{
+    const int chains = size.scale <= 1 ? 10 : size.scale == 2 ? 20 : 40;
+    const int len = size.scale <= 1 ? 64 : size.scale == 2 ? 400 : 1600;
+    // One node per cache line (8 words) so every dereference misses.
+    const std::int64_t node_words = 8;
+    const std::int64_t total_nodes =
+        static_cast<std::int64_t>(chains) * len;
+
+    Workload w;
+    w.name = "latbench";
+    w.pattern = "address recurrence (pointer chase), no locality";
+    w.defaultProcs = 0;  // uniprocessor only, as in the paper
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "latbench";
+
+    Array *heads =
+        w.kernel.addArray("heads", ScalType::I64, {chains});
+    Array *nodes = w.kernel.addArray("nodes", ScalType::I64,
+                                     {total_nodes * node_words});
+    Array *sink = w.kernel.addArray("sink", ScalType::I64, {8});
+    w.kernel.declareScalar("p", ScalType::I64);
+
+    // for j: p = heads[j]; for i in 0..len: p = *(p + 0); sink[0] = p
+    auto inner = forLoop(
+        "i", iconst(0), iconst(len),
+        block(assign(varref("p"), deref(varref("p"), 0))));
+    auto outer = forLoop(
+        "j", iconst(0), iconst(chains),
+        block(assign(varref("p"), aref(heads, subs(varref("j")))),
+              std::move(inner),
+              assign(aref(sink, subs(iconst(0))), varref("p"))),
+        1, /*parallel=*/true);
+    w.kernel.body.push_back(std::move(outer));
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr nodes_base = nodes->base;
+    const Addr heads_base = heads->base;
+    w.init = [chains, len, total_nodes, nodes_base,
+              heads_base](kisa::MemoryImage &mem) {
+        // Random global permutation of node slots kills all spatial
+        // locality, within and across chains (Section 4.2).
+        Rng rng(0x1a7b);
+        std::vector<std::int64_t> slots(
+            static_cast<size_t>(total_nodes));
+        for (std::int64_t s = 0; s < total_nodes; ++s)
+            slots[static_cast<size_t>(s)] = s;
+        for (std::int64_t s = total_nodes - 1; s > 0; --s)
+            std::swap(slots[static_cast<size_t>(s)],
+                      slots[rng.below(static_cast<std::uint64_t>(s + 1))]);
+        auto node_addr = [&](std::int64_t slot) {
+            return nodes_base + static_cast<Addr>(slot) * 64;
+        };
+        std::int64_t cursor = 0;
+        for (int j = 0; j < chains; ++j) {
+            const std::int64_t first = slots[size_t(cursor)];
+            mem.st64(heads_base + Addr(j) * 8,
+                     node_addr(first));
+            for (int n = 0; n < len; ++n, ++cursor) {
+                const std::int64_t cur = slots[size_t(cursor)];
+                const bool last = n == len - 1;
+                const std::int64_t next =
+                    last ? 0 : slots[size_t(cursor + 1)];
+                mem.st64(node_addr(cur),
+                         last ? 0 : node_addr(next));
+            }
+        }
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * LU (SPLASH-2 flavor): right-looking dense factorization. Each step k
+ * normalizes column k into a shared column buffer (computed redundantly
+ * by every processor — all writers store identical values, which keeps
+ * the run deterministic and removes the producer-consumer sync the
+ * paper's flag optimization targets), publishes a per-step flag, then
+ * performs the rank-1 interior update partitioned over rows.
+ *
+ * The interior update's inner j loop is the unroll-and-jam target:
+ * A[i][j] self-spatial, col[i] invariant (scalar replacement), A[k][j]
+ * a shared spatial stream.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeLu(const SizeParams &size)
+{
+    const std::int64_t n = size.scale <= 1 ? 32
+                           : size.scale == 2 ? 128 : 192;
+
+    Workload w;
+    w.name = "lu";
+    w.pattern = "rank-1 update: self-spatial rows, invariant pivots";
+    w.defaultProcs = 8;
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "lu";
+
+    Array *a = w.kernel.addArray("A", ScalType::F64, {n, n});
+    Array *col = w.kernel.addArray("col", ScalType::F64, {n});
+    Array *flags = w.kernel.addArray("flags", ScalType::I64, {n});
+
+    // Normalize column k below the diagonal, partitioned across
+    // processors (each writes only its chunk of col):
+    //   for i in k+1..n: col[i] = A[i][k] / A[k][k]; A[i][k] = col[i]
+    auto norm = forLoop(
+        "i", add(varref("k"), iconst(1)), iconst(n),
+        block(assign(aref(col, subs(varref("i"))),
+                     divx(aref(a, subs(varref("i"), varref("k"))),
+                          aref(a, subs(varref("k"), varref("k"))))),
+              assign(aref(a, subs(varref("i"), varref("k"))),
+                     aref(col, subs(varref("i"))))),
+        1, /*parallel=*/true);
+
+    // Publish the column (exercises the release path); the consumers
+    // below synchronize with a barrier.
+    auto publish = flagSet(aref(flags, subs(varref("k"))), iconst(1));
+
+    // Interior rank-1 update, parallel over rows i:
+    //   for i in k+1..n (parallel): for j in k+1..n:
+    //       A[i][j] = A[i][j] - col[i] * A[k][j]
+    auto jloop = forLoop(
+        "j", add(varref("k"), iconst(1)), iconst(n),
+        block(assign(
+            aref(a, subs(varref("i"), varref("j"))),
+            sub(aref(a, subs(varref("i"), varref("j"))),
+                mul(aref(col, subs(varref("i"))),
+                    aref(a, subs(varref("k"), varref("j"))))))));
+    auto update = forLoop("i", add(varref("k"), iconst(1)), iconst(n),
+                          block(std::move(jloop)), 1, /*parallel=*/true);
+
+    w.kernel.body.push_back(
+        forLoop("k", iconst(0), iconst(n - 1),
+                block(std::move(norm), std::move(publish), barrier(),
+                      std::move(update), barrier())));
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr a_base = a->base;
+    w.init = [n, a_base](kisa::MemoryImage &mem) {
+        Rng rng(0x10);
+        for (std::int64_t r = 0; r < n; ++r) {
+            for (std::int64_t c = 0; c < n; ++c) {
+                // Diagonally dominant for numerical stability.
+                const double v = r == c ? static_cast<double>(n) + 1.0
+                                        : rng.uniform();
+                mem.stF64(a_base + Addr(r * n + c) * 8, v);
+            }
+        }
+    };
+    w.place = [a](coherence::PlacementPolicy &policy) {
+        policy.addBlockRegion(a->base, a->sizeBytes());
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

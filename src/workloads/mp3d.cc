@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Mp3d (SPLASH): rarefied-fluid particle simulation. The dominant
+ * `move` loop has a large body (position/velocity updates over six
+ * particle arrays) plus irregular accesses to the space cell the
+ * particle lands in. Particles are pre-sorted by position (the paper
+ * applies Mellor-Crummey et al. sorting), so cell accesses have decent
+ * locality (moderate P_m). No recurrences: this is the window-
+ * constraint workload — inner unrolling plus clustering-aware
+ * scheduling provide the benefit (Section 3.3).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeMp3d(const SizeParams &size)
+{
+    const std::int64_t nparticles = size.scale <= 1 ? 2048
+                                    : size.scale == 2 ? 12288 : 32768;
+    const std::int64_t cells_per_dim = size.scale <= 1 ? 8 : 16;
+    const std::int64_t ncells =
+        cells_per_dim * cells_per_dim * cells_per_dim;
+    const int steps = size.scale <= 1 ? 2 : 3;
+
+    Workload w;
+    w.name = "mp3d";
+    w.pattern = "large loop body, irregular cell access, no recurrence";
+    w.defaultProcs = 8;
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "mp3d";
+
+    // Particles are an array of structs, as in the original SPLASH
+    // code: one 64-byte record per particle with fields
+    // {x, y, z, vx, vy, vz, energy, pad}. Each particle's move misses
+    // once on its record — no recurrence, one miss per (large) body,
+    // the paper's window-constraint case.
+    Array *part =
+        w.kernel.addArray("part", ScalType::F64, {nparticles, 8});
+    Array *cellcnt =
+        w.kernel.addArray("cellcnt", ScalType::F64, {ncells});
+    Array *accel = w.kernel.addArray("accel", ScalType::F64, {ncells});
+    for (const char *v : {"nx", "ny", "nz", "ke", "drag"})
+        w.kernel.declareScalar(v, ScalType::F64);
+    for (const char *v : {"cx", "cy", "cz", "ci"})
+        w.kernel.declareScalar(v, ScalType::I64);
+    w.kernel.declareScalar("ac", ScalType::F64);
+
+    const double dt = 0.001;
+    const double scale =
+        static_cast<double>(cells_per_dim);  // unit box -> cells
+
+    enum Field { FX = 0, FY, FZ, FVX, FVY, FVZ, FEN };
+    auto fld = [&](int f) {
+        return aref(part, subs(varref("i"), iconst(f)));
+    };
+    auto clamp_cell = [&](const char *dst, const char *src_f) {
+        // c = min(max(trunc(pos * scale), 0), cells_per_dim - 1)
+        return assign(
+            varref(dst),
+            minx(bin(ir::BinOp::Max,
+                     un(ir::UnOp::Trunc,
+                        mul(varref(src_f), fconst(scale))),
+                     iconst(0)),
+                 iconst(cells_per_dim - 1)));
+    };
+
+    // The move loop (parallel over particles). The body follows the
+    // natural per-dimension source order of a physics move loop, so
+    // its loads are interleaved with computation across far more
+    // instructions than one window holds — the paper's Section 3.3
+    // scenario (misses spread over a large loop body). The clustering
+    // scheduler's job is to pack them back together.
+    auto body = block(
+        // x dimension: integrate, clamp, store, energy term.
+        assign(varref("nx"), add(fld(FX),
+                                 mul(fld(FVX),
+                                     fconst(dt)))),
+        assign(varref("nx"), minx(bin(ir::BinOp::Max, varref("nx"),
+                                      fconst(0.0)),
+                                  fconst(0.999))),
+        assign(fld(FX), varref("nx")),
+        assign(varref("ke"), mul(fld(FVX),
+                                 fld(FVX))),
+        // y dimension.
+        assign(varref("ny"), add(fld(FY),
+                                 mul(fld(FVY),
+                                     fconst(dt)))),
+        assign(varref("ny"), minx(bin(ir::BinOp::Max, varref("ny"),
+                                      fconst(0.0)),
+                                  fconst(0.999))),
+        assign(fld(FY), varref("ny")),
+        assign(varref("ke"), add(varref("ke"),
+                                 mul(fld(FVY),
+                                     fld(FVY)))),
+        // z dimension.
+        assign(varref("nz"), add(fld(FZ),
+                                 mul(fld(FVZ),
+                                     fconst(dt)))),
+        assign(varref("nz"), minx(bin(ir::BinOp::Max, varref("nz"),
+                                      fconst(0.0)),
+                                  fconst(0.999))),
+        assign(fld(FZ), varref("nz")),
+        assign(varref("ke"), add(varref("ke"),
+                                 mul(fld(FVZ),
+                                     fld(FVZ)))),
+        // Cell index from the new position.
+        clamp_cell("cx", "nx"), clamp_cell("cy", "ny"),
+        clamp_cell("cz", "nz"),
+        assign(varref("ci"),
+               add(mul(add(mul(varref("cx"), iconst(cells_per_dim)),
+                           varref("cy")),
+                       iconst(cells_per_dim)),
+                   varref("cz"))),
+        // Irregular cell census and acceleration pickup.
+        assign(aref(cellcnt, subs(varref("ci"))),
+               add(aref(cellcnt, subs(varref("ci"))), fconst(1.0))),
+        assign(varref("ac"), aref(accel, subs(varref("ci")))),
+        // Drag-scaled velocity updates and the energy-census stream.
+        assign(varref("drag"),
+               sub(fconst(1.0), mul(fconst(0.0001), varref("ke")))),
+        assign(fld(FVX),
+               mul(add(fld(FVX),
+                       mul(varref("ac"), fconst(dt))),
+                   varref("drag"))),
+        assign(fld(FVY),
+               mul(add(fld(FVY),
+                       mul(varref("ac"), fconst(dt))),
+                   varref("drag"))),
+        assign(fld(FVZ),
+               mul(sub(fld(FVZ),
+                       mul(varref("ac"), fconst(dt))),
+                   varref("drag"))),
+        assign(fld(FEN),
+               add(fld(FEN),
+                   mul(fconst(0.5), varref("ke")))));
+
+    auto move = forLoop("i", iconst(0), iconst(nparticles),
+                        std::move(body), 1, /*parallel=*/true);
+    w.kernel.body.push_back(forLoop(
+        "t", iconst(0), iconst(steps),
+        block(std::move(move), barrier())));
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr part_b = part->base;
+    const Addr accel_b = accel->base;
+    w.init = [nparticles, ncells, part_b, accel_b](kisa::MemoryImage &mem) {
+        Rng rng(0x3d);
+        // Sorted by position (paper: sorted by physical location):
+        // particle i sits near position i / nparticles along a sweep.
+        for (std::int64_t i = 0; i < nparticles; ++i) {
+            const Addr rec = part_b + Addr(i) * 64;
+            const double s = static_cast<double>(i) /
+                             static_cast<double>(nparticles);
+            mem.stF64(rec + 0, s);
+            mem.stF64(rec + 8, 0.5 + 0.3 * (rng.uniform() - 0.5));
+            mem.stF64(rec + 16, 0.5 + 0.3 * (rng.uniform() - 0.5));
+            for (int f = 3; f < 6; ++f)
+                mem.stF64(rec + Addr(f) * 8, rng.uniform() - 0.5);
+        }
+        for (std::int64_t c = 0; c < ncells; ++c)
+            mem.stF64(accel_b + Addr(c) * 8, rng.uniform() * 0.1);
+    };
+    w.place = [part, cellcnt, accel](coherence::PlacementPolicy &policy) {
+        for (const Array *arr : {part, cellcnt, accel})
+            policy.addBlockRegion(arr->base, arr->sizeBytes());
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * MST (Olden): the dominant cost is linked-list traversal of hash-table
+ * buckets during neighbor lookups. The kernel walks the chain of each
+ * vertex's bucket, accumulating node weights — a per-chain address
+ * recurrence with no locality across nodes. Unroll-and-jam interleaves
+ * independent chains, jamming to the minimum length with per-chain
+ * epilogues (Section 4.2). Uniprocessor only, as in the paper.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeMst(const SizeParams &size)
+{
+    const std::int64_t nvertices = size.scale <= 1 ? 192
+                                   : size.scale == 2 ? 1024 : 2048;
+    const std::int64_t nbuckets = nvertices / 4;
+    const std::int64_t avg_chain = 6;
+    const int rounds = size.scale <= 1 ? 2 : 4;
+
+    Workload w;
+    w.name = "mst";
+    w.pattern = "hash-bucket chain walks (address recurrences)";
+    w.defaultProcs = 0;  // uniprocessor only, as in the paper
+    w.l2Bytes = 64 * 1024;
+    w.kernel.name = "mst";
+
+    Array *keys = w.kernel.addArray("keys", ScalType::I64, {nvertices});
+    Array *buckets =
+        w.kernel.addArray("buckets", ScalType::I64, {nbuckets});
+    Array *dist = w.kernel.addArray("dist", ScalType::F64, {nvertices});
+    w.kernel.declareScalar("b", ScalType::I64);
+    w.kernel.declareScalar("p", ScalType::I64);
+
+    // for r: for v (independent): b = keys[v] % nbuckets;
+    //   for (p = buckets[b]; p; p = p->next)
+    //       dist[v] = dist[v] + p->weight
+    auto chain_body = block(assign(
+        aref(dist, subs(varref("v"))),
+        add(aref(dist, subs(varref("v"))),
+            deref(varref("p"), 8, ScalType::F64))));
+    auto chase = ptrLoop("p", aref(buckets, subs(varref("b"))), 0,
+                         std::move(chain_body));
+    auto vloop = forLoop(
+        "v", iconst(0), iconst(nvertices),
+        block(assign(varref("b"),
+                     modx(aref(keys, subs(varref("v"))),
+                          iconst(nbuckets))),
+              std::move(chase)),
+        1, /*parallel=*/true);  // paper: outer loop marked parallel
+    w.kernel.body.push_back(forLoop("r", iconst(0), iconst(rounds),
+                                    block(std::move(vloop))));
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr keys_b = keys->base, buckets_b = buckets->base;
+    w.init = [nvertices, nbuckets, avg_chain, keys_b,
+              buckets_b](kisa::MemoryImage &mem) {
+        Rng rng(0x357);
+        // Hash nodes: 2 words used (next, weight), one per cache line,
+        // randomly placed to kill locality.
+        const std::int64_t total_nodes = nbuckets * avg_chain;
+        std::vector<std::int64_t> slots(
+            static_cast<size_t>(total_nodes));
+        for (std::int64_t s = 0; s < total_nodes; ++s)
+            slots[size_t(s)] = s;
+        for (std::int64_t s = total_nodes - 1; s > 0; --s)
+            std::swap(slots[size_t(s)],
+                      slots[rng.below(std::uint64_t(s + 1))]);
+        const Addr node_base = 0x60000000;
+        auto node_addr = [&](std::int64_t slot) {
+            return node_base + Addr(slot) * 64;
+        };
+        std::int64_t cursor = 0;
+        for (std::int64_t bkt = 0; bkt < nbuckets; ++bkt) {
+            // Chain length varies around the mean (hash tables balance
+            // reasonably), bounded by the remaining node pool (each
+            // node belongs to exactly one chain).
+            std::int64_t len =
+                (avg_chain - 2) +
+                static_cast<std::int64_t>(rng.below(5));
+            len = std::min(len, total_nodes - cursor);
+            Addr prev = 0;
+            for (std::int64_t n = 0; n < len; ++n, ++cursor) {
+                const Addr node = node_addr(slots[size_t(cursor)]);
+                mem.st64(node, prev);
+                mem.stF64(node + 8, rng.uniform());
+                prev = node;
+            }
+            mem.st64(buckets_b + Addr(bkt) * 8, prev);
+        }
+        for (std::int64_t v = 0; v < nvertices; ++v)
+            mem.st64(keys_b + Addr(v) * 8, rng.below(1u << 30));
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

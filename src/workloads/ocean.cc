@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ocean (SPLASH-2): the dominant red/black relaxation is modeled as
+ * Jacobi 5-point stencil sweeps over a 2-D grid. The base version
+ * already exhibits some clustering (the j-1 and j+1 rows are separate
+ * cache lines), so the transformations help least here — exactly the
+ * behaviour the paper reports (smallest benefit, conflict-miss risk).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/rng.hh"
+
+namespace mpc::workloads
+{
+
+using namespace mpc::ir;
+
+Workload
+makeOcean(const SizeParams &size)
+{
+    // Power-of-two rows (16 lines each), mirroring the paper's
+    // 258x258 grid scaled down; the interior is n-2 points per side.
+    const std::int64_t n = size.scale <= 1 ? 32
+                           : size.scale == 2 ? 128 : 256;
+    const int sweeps = size.scale <= 1 ? 2 : 4;
+
+    Workload w;
+    w.name = "ocean";
+    w.pattern = "5-point stencil; base already partially clustered";
+    w.defaultProcs = 8;
+    w.l2Bytes = size.scale >= 3 ? (1u << 20) : 128 * 1024;
+    w.kernel.name = "ocean";
+
+    Array *ga = w.kernel.addArray("ga", ScalType::F64, {n, n});
+    Array *gb = w.kernel.addArray("gb", ScalType::F64, {n, n});
+
+    auto stencil = [&](Array *dst, Array *src) {
+        auto at = [&](ExprPtr j, ExprPtr i) {
+            return aref(src, subs(std::move(j), std::move(i)));
+        };
+        auto inner = forLoop(
+            "i", iconst(1), iconst(n - 1),
+            block(assign(
+                aref(dst, subs(varref("j"), varref("i"))),
+                mul(fconst(0.2),
+                    add(add(at(varref("j"), varref("i")),
+                            add(at(varref("j"),
+                                   sub(varref("i"), iconst(1))),
+                                at(varref("j"),
+                                   add(varref("i"), iconst(1))))),
+                        add(at(sub(varref("j"), iconst(1)), varref("i")),
+                            at(add(varref("j"), iconst(1)),
+                               varref("i"))))))));
+        return forLoop("j", iconst(1), iconst(n - 1),
+                       block(std::move(inner)), 1, /*parallel=*/true);
+    };
+
+    for (int s = 0; s < sweeps; ++s) {
+        w.kernel.body.push_back(
+            s % 2 == 0 ? stencil(gb, ga) : stencil(ga, gb));
+        w.kernel.body.push_back(barrier());
+    }
+    assignRefIds(w.kernel);
+    layoutArrays(w.kernel);
+
+    const Addr a_base = ga->base, b_base = gb->base;
+    const std::int64_t elems = n * n;
+    w.init = [a_base, b_base, elems](kisa::MemoryImage &mem) {
+        Rng rng(0x0cea);
+        for (std::int64_t e = 0; e < elems; ++e) {
+            mem.stF64(a_base + Addr(e) * 8, rng.uniform());
+            mem.stF64(b_base + Addr(e) * 8, 0.0);
+        }
+    };
+    w.place = [ga, gb](coherence::PlacementPolicy &policy) {
+        policy.addBlockRegion(ga->base, ga->sizeBytes());
+        policy.addBlockRegion(gb->base, gb->sizeBytes());
+    };
+    return w;
+}
+
+} // namespace mpc::workloads

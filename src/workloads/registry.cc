@@ -1,0 +1,44 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace mpc::workloads
+{
+
+std::vector<Workload>
+makeAllApps(const SizeParams &size)
+{
+    std::vector<Workload> apps;
+    apps.push_back(makeEm3d(size));
+    apps.push_back(makeErlebacher(size));
+    apps.push_back(makeFft(size));
+    apps.push_back(makeLu(size));
+    apps.push_back(makeMp3d(size));
+    apps.push_back(makeMst(size));
+    apps.push_back(makeOcean(size));
+    return apps;
+}
+
+Workload
+makeByName(const std::string &name, const SizeParams &size)
+{
+    if (name == "latbench")
+        return makeLatbench(size);
+    if (name == "em3d")
+        return makeEm3d(size);
+    if (name == "erlebacher")
+        return makeErlebacher(size);
+    if (name == "fft")
+        return makeFft(size);
+    if (name == "lu")
+        return makeLu(size);
+    if (name == "mp3d")
+        return makeMp3d(size);
+    if (name == "mst")
+        return makeMst(size);
+    if (name == "ocean")
+        return makeOcean(size);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace mpc::workloads

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The evaluation workloads (Table 2 of the paper), built from scratch
+ * with the same dominant loop and memory structure as the originals:
+ *
+ *  - Latbench:   lat_mem_rd-style pointer-chase latency microbenchmark
+ *                wrapped in an outer loop over independent chains.
+ *  - Em3d:       bipartite-graph relaxation (Split-C Em3d): indirect
+ *                gathers through an edge list.
+ *  - Erlebacher: ADI-style tridiagonal sweeps over a 3D cube.
+ *  - FFT:        six-step radix-2 FFT (SPLASH-2): blocked transposes
+ *                plus per-column butterfly stages.
+ *  - LU:         right-looking dense LU with flag-based pipelining
+ *                (SPLASH-2 LU uses flags in the paper's variant).
+ *  - Mp3d:       particle-move loop with a large body and irregular
+ *                cell accesses (sorted for locality, as in the paper).
+ *  - MST:        hash-bucket linked-list walks (Olden MST's dominant
+ *                structure).
+ *  - Ocean:      5-point stencil relaxation sweeps (SPLASH-2 Ocean's
+ *                dominant kernel).
+ *
+ * Input sizes are scaled below the paper's so a cycle-level run takes
+ * seconds, with caches scaled alongside (the paper itself scales caches
+ * per Woo et al.); see DESIGN.md section 3.
+ */
+
+#ifndef MPC_WORKLOADS_WORKLOAD_HH
+#define MPC_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "ir/kernel.hh"
+#include "kisa/memimage.hh"
+
+namespace mpc::workloads
+{
+
+/**
+ * A ready-to-run workload: the base (untransformed) kernel plus data
+ * initialization and placement. The harness derives the clustered
+ * variant by running the transformation driver on a clone.
+ */
+struct Workload
+{
+    std::string name;
+    ir::Kernel kernel;
+
+    /** Initialize array contents (arrays already laid out). */
+    std::function<void(kisa::MemoryImage &)> init;
+
+    /**
+     * Register data placement for CC-NUMA runs (block placement
+     * matching the iteration partition); optional.
+     */
+    std::function<void(coherence::PlacementPolicy &)> place;
+
+    /** Scaled L2 size for this input (Woo et al. methodology). */
+    std::uint64_t l2Bytes = 1 << 20;
+
+    /** Default processor count for the multiprocessor experiments
+     *  (paper: 16 or 8 by scalability; 0 = uniprocessor only). */
+    int defaultProcs = 16;
+
+    /** Expected dominant-pattern note (documentation / reports). */
+    std::string pattern;
+};
+
+/** Size scale: 1 = test (sub-second), 2 = bench default, 3 = large. */
+struct SizeParams
+{
+    int scale = 2;
+};
+
+Workload makeLatbench(const SizeParams &size = {});
+Workload makeEm3d(const SizeParams &size = {});
+Workload makeErlebacher(const SizeParams &size = {});
+Workload makeFft(const SizeParams &size = {});
+Workload makeLu(const SizeParams &size = {});
+Workload makeMp3d(const SizeParams &size = {});
+Workload makeMst(const SizeParams &size = {});
+Workload makeOcean(const SizeParams &size = {});
+
+/** All scientific applications (everything but Latbench). */
+std::vector<Workload> makeAllApps(const SizeParams &size = {});
+
+/** Factory by name ("latbench", "em3d", ..., "ocean"). */
+Workload makeByName(const std::string &name, const SizeParams &size = {});
+
+// --- small IR construction helpers shared by the builders -----------
+
+/** Variadic subscript vector builder. */
+template <typename... Exprs>
+std::vector<ir::ExprPtr>
+subs(Exprs... exprs)
+{
+    std::vector<ir::ExprPtr> v;
+    (v.push_back(std::move(exprs)), ...);
+    return v;
+}
+
+/** Variadic statement vector builder. */
+template <typename... Stmts>
+std::vector<ir::StmtPtr>
+block(Stmts... stmts)
+{
+    std::vector<ir::StmtPtr> v;
+    (v.push_back(std::move(stmts)), ...);
+    return v;
+}
+
+} // namespace mpc::workloads
+
+#endif // MPC_WORKLOADS_WORKLOAD_HH

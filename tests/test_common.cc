@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for src/common: types helpers, stats containers, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mpc
+{
+namespace
+{
+
+TEST(Types, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 64), 0x1200u);
+    EXPECT_EQ(alignDown(0x1200, 64), 0x1200u);
+    EXPECT_EQ(alignUp(0x1201, 64), 0x1240u);
+    EXPECT_EQ(alignUp(0x1200, 64), 0x1200u);
+}
+
+TEST(Types, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+    EXPECT_EQ(ceilDiv(1, 4), 1);
+    EXPECT_EQ(ceilDiv(4, 4), 1);
+    EXPECT_EQ(ceilDiv(5, 4), 2);
+}
+
+TEST(Types, PowerOf2AndLog2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_EQ(log2Floor(1), 0);
+    EXPECT_EQ(log2Floor(64), 6);
+}
+
+TEST(StatSummary, Basics)
+{
+    StatSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(StatSummary, Merge)
+{
+    StatSummary a, b;
+    a.sample(1.0);
+    b.sample(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(OccupancyHistogram, FracAtLeast)
+{
+    OccupancyHistogram h(10);
+    h.record(0, 50);
+    h.record(2, 30);
+    h.record(5, 20);
+    EXPECT_EQ(h.totalTicks(), 100u);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(3), 0.2);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(6), 0.0);
+}
+
+TEST(OccupancyHistogram, ClampsAboveMax)
+{
+    OccupancyHistogram h(4);
+    h.record(9, 10);  // clamps to level 4
+    EXPECT_EQ(h.ticksAt(4), 10u);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(4), 1.0);
+}
+
+TEST(OccupancyHistogram, MeanLevel)
+{
+    OccupancyHistogram h(10);
+    h.record(2, 50);
+    h.record(4, 50);
+    EXPECT_DOUBLE_EQ(h.meanLevel(), 3.0);
+}
+
+TEST(OccupancyHistogram, Merge)
+{
+    OccupancyHistogram a(10), b(10);
+    a.record(1, 10);
+    b.record(3, 10);
+    a.merge(b);
+    EXPECT_EQ(a.totalTicks(), 20u);
+    EXPECT_DOUBLE_EQ(a.fracAtLeast(2), 0.5);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t;
+    t.setHeader({"app", "base", "clust"});
+    t.addRow({"LU", "100.0", "78.3"});
+    t.addRow({"Erlebacher", "100.0", "69.8"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("Erlebacher"), std::string::npos);
+    // Header separator row present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.1234, 1), "12.3%");
+}
+
+} // namespace
+} // namespace mpc

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the loop-nest IR: construction, cloning, layout,
+ * refId assignment, printing, and tree walking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/eval.hh"
+#include "ir/kernel.hh"
+
+namespace mpc::ir
+{
+namespace
+{
+
+Kernel
+matrixTraversal()
+{
+    // Figure 2(a): for j, for i: A[j,i] = A[j,i] + 1  (row-major,
+    // i innermost -> spatial locality, minimal clustering).
+    Kernel k;
+    k.name = "fig2a";
+    Array *a = k.addArray("A", ScalType::F64, {64, 64});
+    std::vector<StmtPtr> inner_body;
+    inner_body.push_back(assign(
+        aref(a, [] {
+            std::vector<ExprPtr> subs;
+            subs.push_back(varref("j"));
+            subs.push_back(varref("i"));
+            return subs;
+        }()),
+        add(aref(a, [] {
+            std::vector<ExprPtr> subs;
+            subs.push_back(varref("j"));
+            subs.push_back(varref("i"));
+            return subs;
+        }()), fconst(1.0))));
+    std::vector<StmtPtr> outer_body;
+    outer_body.push_back(forLoop("i", iconst(0), iconst(64),
+                                 std::move(inner_body)));
+    k.body.push_back(forLoop("j", iconst(0), iconst(64),
+                             std::move(outer_body)));
+    return k;
+}
+
+TEST(Array, LinearIndexRowMajor)
+{
+    Array a{"A", ScalType::F64, {4, 8}, 0x1000};
+    EXPECT_EQ(a.linearIndex({0, 0}), 0);
+    EXPECT_EQ(a.linearIndex({0, 7}), 7);
+    EXPECT_EQ(a.linearIndex({1, 0}), 8);
+    EXPECT_EQ(a.linearIndex({3, 5}), 29);
+    EXPECT_EQ(a.addrOf({1, 0}), 0x1000u + 64u);
+    EXPECT_EQ(a.sizeBytes(), 4u * 8u * 8u);
+}
+
+TEST(Kernel, BuildAndPrint)
+{
+    Kernel k = matrixTraversal();
+    const std::string s = k.toString();
+    EXPECT_NE(s.find("for (j = 0; j < 64; j += 1)"), std::string::npos);
+    EXPECT_NE(s.find("A[j][i]"), std::string::npos);
+}
+
+TEST(Kernel, AssignRefIdsStable)
+{
+    Kernel k = matrixTraversal();
+    const int count = assignRefIds(k);
+    EXPECT_EQ(count, 2);  // write A[j,i] and read A[j,i]
+    // Idempotent.
+    EXPECT_EQ(assignRefIds(k), 2);
+    // Clone preserves ids.
+    Kernel c = k.clone();
+    std::vector<int> ids;
+    for (auto &stmt : c.body)
+        walkExprs(*stmt, [&](const Expr &e) {
+            if (e.isMemRef())
+                ids.push_back(e.refId);
+        });
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<int>{0, 1}));
+}
+
+TEST(Kernel, CloneIsDeepAndRemapsArrays)
+{
+    Kernel k = matrixTraversal();
+    assignRefIds(k);
+    layoutArrays(k);
+    Kernel c = k.clone();
+    // Mutating the clone must not touch the original.
+    c.body[0]->step = 5;
+    EXPECT_EQ(k.body[0]->step, 1);
+    // Array pointers in the clone must point into the clone.
+    walkExprs(*c.body[0], [&](const Expr &e) {
+        if (e.kind == Expr::Kind::ArrayRef) {
+            EXPECT_EQ(e.array, c.findArray("A"));
+        }
+    });
+    EXPECT_NE(c.findArray("A"), k.findArray("A"));
+    EXPECT_EQ(c.findArray("A")->base, k.findArray("A")->base);
+}
+
+TEST(Kernel, LayoutAlignsAndSeparates)
+{
+    Kernel k;
+    k.addArray("X", ScalType::F64, {100});
+    k.addArray("Y", ScalType::F64, {100});
+    layoutArrays(k, 0x1000, 64, 4096);
+    const Array *x = k.findArray("X");
+    const Array *y = k.findArray("Y");
+    EXPECT_EQ(x->base % 64, 0u);
+    EXPECT_EQ(y->base % 64, 0u);
+    EXPECT_GE(y->base, x->base + x->sizeBytes() + 4096);
+}
+
+TEST(Kernel, PtrLoopCarriesAdvanceRef)
+{
+    Kernel k;
+    k.declareScalar("p", ScalType::I64);
+    std::vector<StmtPtr> body;
+    body.push_back(assign(varref("s"),
+                          add(varref("s"), deref(varref("p"), 8))));
+    k.body.push_back(ptrLoop("p", iconst(0x1000), 0, std::move(body)));
+    const int ids = assignRefIds(k);
+    EXPECT_EQ(ids, 2);  // the data deref and the advance deref
+    EXPECT_NE(k.body[0]->rhs, nullptr);
+    EXPECT_EQ(k.body[0]->rhs->kind, Expr::Kind::Deref);
+}
+
+TEST(Kernel, WalkStmtsVisitsNested)
+{
+    Kernel k = matrixTraversal();
+    int loops = 0, assigns = 0;
+    walkStmts(*k.body[0], [&](const Stmt &s) {
+        loops += s.kind == Stmt::Kind::Loop;
+        assigns += s.kind == Stmt::Kind::Assign;
+    });
+    EXPECT_EQ(loops, 2);
+    EXPECT_EQ(assigns, 1);
+}
+
+TEST(Expr, ToStringForms)
+{
+    EXPECT_EQ(iconst(5)->toString(), "5");
+    EXPECT_EQ(varref("x")->toString(), "x");
+    EXPECT_EQ(add(varref("a"), iconst(1))->toString(), "(a + 1)");
+    EXPECT_EQ(minx(varref("a"), varref("b"))->toString(), "min(a, b)");
+    EXPECT_EQ(deref(varref("p"), 16)->toString(), "*(p + 16)");
+}
+
+
+TEST(Eval, WhileLoopRunsUntilZero)
+{
+    // while (n != 0) { s = s + n; n = n - 1 }
+    Kernel k;
+    k.declareScalar("n", ScalType::I64);
+    k.declareScalar("s", ScalType::I64);
+    k.body.push_back(assign(varref("n"), iconst(5)));
+    std::vector<StmtPtr> body;
+    body.push_back(assign(varref("s"), add(varref("s"), varref("n"))));
+    body.push_back(assign(varref("n"), sub(varref("n"), iconst(1))));
+    k.body.push_back(whileLoop(varref("n"), std::move(body)));
+    kisa::MemoryImage mem;
+    Evaluator ev(k, mem);
+    ev.run();
+    EXPECT_EQ(ev.intVar("s"), 15);
+    EXPECT_EQ(ev.intVar("n"), 0);
+}
+
+TEST(Eval, MinMaxModOperators)
+{
+    Kernel k;
+    k.declareScalar("a", ScalType::I64);
+    k.declareScalar("b", ScalType::F64);
+    k.body.push_back(assign(
+        varref("a"), modx(iconst(17), minx(iconst(5), iconst(9)))));
+    k.body.push_back(assign(
+        varref("b"), bin(BinOp::Max, fconst(2.5), fconst(-1.0))));
+    kisa::MemoryImage mem;
+    Evaluator ev(k, mem);
+    ev.run();
+    EXPECT_EQ(ev.intVar("a"), 17 % 5);
+    EXPECT_DOUBLE_EQ(ev.fpVar("b"), 2.5);
+}
+
+TEST(Eval, TruncConvertsFloatToInt)
+{
+    Kernel k;
+    k.declareScalar("c", ScalType::I64);
+    k.body.push_back(assign(
+        varref("c"), un(UnOp::Trunc, mul(fconst(3.9), fconst(2.0)))));
+    kisa::MemoryImage mem;
+    Evaluator ev(k, mem);
+    ev.run();
+    EXPECT_EQ(ev.intVar("c"), 7);
+}
+
+TEST(Eval, PrefetchIsArchitecturalNoop)
+{
+    Kernel k;
+    Array *x = k.addArray("x", ScalType::F64, {8});
+    std::vector<ExprPtr> subs;
+    subs.push_back(iconst(2));
+    k.body.push_back(prefetch(aref(x, std::move(subs))));
+    layoutArrays(k);
+    kisa::MemoryImage mem;
+    mem.stF64(x->base + 16, 9.0);
+    Evaluator ev(k, mem);
+    ev.run();
+    EXPECT_DOUBLE_EQ(mem.ldF64(x->base + 16), 9.0);
+}
+
+TEST(Print, WhileAndPrefetchRender)
+{
+    Kernel k;
+    Array *x = k.addArray("x", ScalType::F64, {8});
+    std::vector<ExprPtr> subs;
+    subs.push_back(varref("i"));
+    std::vector<StmtPtr> body;
+    body.push_back(prefetch(aref(x, std::move(subs))));
+    k.body.push_back(whileLoop(varref("i"), std::move(body)));
+    const std::string s = k.toString();
+    EXPECT_NE(s.find("while (i != 0)"), std::string::npos);
+    EXPECT_NE(s.find("prefetch x[i]"), std::string::npos);
+}
+
+TEST(Print, DownwardLoopRendersDirection)
+{
+    Kernel k;
+    std::vector<StmtPtr> body;
+    body.push_back(assign(varref("s"), varref("i")));
+    k.body.push_back(forLoop("i", iconst(9), iconst(-1),
+                             std::move(body), -1));
+    EXPECT_NE(k.toString().find("i > -1"), std::string::npos);
+}
+
+TEST(ExprDeath, AssignToNonLvalue)
+{
+    EXPECT_DEATH({ auto s = assign(iconst(3), iconst(4)); (void)s; },
+                 "lvalue");
+}
+
+} // namespace
+} // namespace mpc::ir

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: event queue, timeline resources,
+ * MSHR file (coalescing + occupancy stats), cache hit/miss behaviour,
+ * bank interleaving, and the two-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/eventq.hh"
+#include "mem/hierarchy.hh"
+#include "mem/mainmem.hh"
+#include "mem/mshr.hh"
+
+namespace mpc::mem
+{
+namespace
+{
+
+TEST(EventQueue, OrderedExecution)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(3); });  // same tick: FIFO
+    eq.advanceTo(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, EventSchedulesEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { eq.schedule(2, [&] { ++fired; }); });
+    eq.advanceTo(5);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, AdvancePartial)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.advanceTo(50);
+    EXPECT_EQ(fired, 0);
+    eq.advanceTo(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(TimelineResource, SerializesOverlapping)
+{
+    TimelineResource r;
+    EXPECT_EQ(r.reserve(10, 5), 10u);   // busy [10,15)
+    EXPECT_EQ(r.reserve(12, 5), 15u);   // pushed back
+    EXPECT_EQ(r.reserve(30, 5), 30u);   // idle gap respected
+    EXPECT_EQ(r.busyTicks(), 15u);
+}
+
+TEST(Mshr, AllocateFindDeallocate)
+{
+    MshrFile m(2);
+    EXPECT_FALSE(m.full());
+    auto id = m.allocate(0, 0x1000, false);
+    EXPECT_EQ(m.find(0x1000), id);
+    EXPECT_EQ(m.find(0x2000), MshrFile::invalidId);
+    EXPECT_EQ(m.occupancy(), 1);
+    m.deallocate(10, id);
+    EXPECT_EQ(m.occupancy(), 0);
+    EXPECT_EQ(m.find(0x1000), MshrFile::invalidId);
+}
+
+TEST(Mshr, FullDetection)
+{
+    MshrFile m(2);
+    m.allocate(0, 0x1000, false);
+    m.allocate(0, 0x2000, false);
+    EXPECT_TRUE(m.full());
+}
+
+TEST(Mshr, ReadOccupancyTracksLoadTargets)
+{
+    MshrFile m(4);
+    auto id = m.allocate(0, 0x1000, false);
+    EXPECT_EQ(m.readOccupancy(), 0);
+    MshrTarget t;
+    t.isLoad = false;
+    m.addTarget(0, id, t);
+    EXPECT_EQ(m.readOccupancy(), 0);
+    t.isLoad = true;
+    m.addTarget(0, id, t);
+    EXPECT_EQ(m.readOccupancy(), 1);
+}
+
+TEST(Mshr, OccupancyHistogramTimeWeighted)
+{
+    MshrFile m(4);
+    // [0,100): 0 occupied. [100,300): 1 occupied. [300,400): 0.
+    auto id = m.allocate(100, 0x40, false);
+    MshrTarget t;
+    t.isLoad = true;
+    m.addTarget(100, id, t);
+    m.deallocate(300, id);
+    m.finalizeStats(400);
+    const auto &h = m.totalHistogram();
+    EXPECT_EQ(h.totalTicks(), 400u);
+    EXPECT_DOUBLE_EQ(h.fracAtLeast(1), 0.5);
+    const auto &r = m.readHistogram();
+    EXPECT_DOUBLE_EQ(r.fracAtLeast(1), 0.5);
+}
+
+TEST(BankInterleave, Sequential)
+{
+    EXPECT_EQ(bankOf(0, 4, Interleave::Sequential), 0);
+    EXPECT_EQ(bankOf(5, 4, Interleave::Sequential), 1);
+}
+
+TEST(BankInterleave, PermutationCoversAllBanks)
+{
+    // Stride-1 lines must hit all banks cyclically; power-of-two strides
+    // must not all collapse onto one bank (the point of permutation).
+    std::vector<int> counts(4, 0);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        ++counts[bankOf(i, 4, Interleave::Permutation)];
+    for (int c : counts)
+        EXPECT_EQ(c, 16);
+    // Stride-4 (would alias bank 0 under sequential interleave):
+    std::vector<int> strided(4, 0);
+    for (std::uint64_t i = 0; i < 64; i += 4)
+        ++strided[bankOf(i, 4, Interleave::Permutation)];
+    int nonzero = 0;
+    for (int c : strided)
+        nonzero += c > 0;
+    EXPECT_GT(nonzero, 1);
+}
+
+TEST(BankInterleave, SkewedSpreadsStride)
+{
+    std::vector<int> strided(4, 0);
+    for (std::uint64_t i = 0; i < 64; i += 4)
+        ++strided[bankOf(i, 4, Interleave::Skewed)];
+    int nonzero = 0;
+    for (int c : strided)
+        nonzero += c > 0;
+    EXPECT_GT(nonzero, 1);
+}
+
+// ---------------------------------------------------------------------
+// Cache behaviour
+// ---------------------------------------------------------------------
+
+/** A scripted downstream that completes fills after a fixed delay. */
+class FakeDownstream : public DownstreamPort
+{
+  public:
+    FakeDownstream(EventQueue &eq, Tick delay) : eq_(eq), delay_(delay) {}
+
+    bool
+    request(Addr line_addr, bool exclusive,
+            std::function<void()> on_fill) override
+    {
+        ++requests;
+        lastAddr = line_addr;
+        lastExclusive = exclusive;
+        if (rejectNext) {
+            rejectNext = false;
+            return false;
+        }
+        eq_.scheduleIn(delay_, std::move(on_fill));
+        return true;
+    }
+
+    void writeback(Addr) override { ++writebacks; }
+
+    int requests = 0;
+    int writebacks = 0;
+    Addr lastAddr = 0;
+    bool lastExclusive = false;
+    bool rejectNext = false;
+
+  private:
+    EventQueue &eq_;
+    Tick delay_;
+};
+
+struct CacheFixture : public ::testing::Test
+{
+    CacheFixture()
+        : down(eq, 100)
+    {
+        cfg.name = "L2";
+        cfg.sizeBytes = 1024;   // 16 sets x 64B, direct mapped
+        cfg.assoc = 1;
+        cfg.lineBytes = 64;
+        cfg.numMshrs = 2;
+        cfg.numPorts = 1;
+        cfg.hitLatency = 10;
+        cache = std::make_unique<Cache>(eq, cfg, false, true);
+        cache->setDownstream(&down);
+    }
+
+    /** Issue a load and capture the completion tick. */
+    Cache::Status
+    load(Addr a, Tick *done = nullptr)
+    {
+        return cache->loadAccess(a, 0, [done](Tick t) {
+            if (done)
+                *done = t;
+        });
+    }
+
+    EventQueue eq;
+    CacheConfig cfg;
+    FakeDownstream down;
+    std::unique_ptr<Cache> cache;
+};
+
+TEST_F(CacheFixture, MissThenHit)
+{
+    Tick t1 = 0;
+    EXPECT_EQ(load(0x1000, &t1), Cache::Status::Ok);
+    eq.advanceTo(500);
+    // Miss latency: 100 (downstream) + fill latency 1.
+    EXPECT_EQ(t1, 101u);
+    EXPECT_TRUE(cache->isResident(0x1000));
+
+    Tick t2 = 0;
+    EXPECT_EQ(load(0x1008, &t2), Cache::Status::Ok);  // same line
+    eq.advanceTo(600);
+    EXPECT_EQ(t2, 500u + 10u);  // hit latency
+    EXPECT_EQ(cache->stats().loadHits, 1u);
+    EXPECT_EQ(cache->stats().loadMisses, 1u);
+}
+
+TEST_F(CacheFixture, CoalescesSameLine)
+{
+    Tick t1 = 0, t2 = 0;
+    EXPECT_EQ(load(0x2000, &t1), Cache::Status::Ok);
+    eq.advanceTo(1);
+    EXPECT_EQ(load(0x2010, &t2), Cache::Status::Ok);  // coalesce
+    eq.advanceTo(500);
+    EXPECT_EQ(down.requests, 1);  // one downstream fetch only
+    EXPECT_EQ(cache->stats().loadCoalesced, 1u);
+    EXPECT_EQ(t1, t2);  // both complete with the fill
+}
+
+TEST_F(CacheFixture, MshrFullRejects)
+{
+    EXPECT_EQ(load(0x1000), Cache::Status::Ok);
+    eq.advanceTo(1);
+    EXPECT_EQ(load(0x2000), Cache::Status::Ok);
+    eq.advanceTo(2);
+    EXPECT_EQ(load(0x3000), Cache::Status::RejectMshr);
+    EXPECT_EQ(cache->stats().rejectsMshr, 1u);
+    // After fills complete, accesses are accepted again.
+    eq.advanceTo(300);
+    EXPECT_EQ(load(0x3000), Cache::Status::Ok);
+}
+
+TEST_F(CacheFixture, PortLimitRejectsSameCycle)
+{
+    EXPECT_EQ(load(0x1000), Cache::Status::Ok);
+    EXPECT_EQ(load(0x2000), Cache::Status::RejectPort);  // 1 port
+    eq.advanceTo(1);
+    EXPECT_EQ(load(0x2000), Cache::Status::Ok);  // next cycle fine
+}
+
+TEST_F(CacheFixture, DowstreamRetryAfterReject)
+{
+    down.rejectNext = true;
+    Tick t1 = 0;
+    EXPECT_EQ(load(0x1000, &t1), Cache::Status::Ok);
+    eq.advanceTo(500);
+    EXPECT_EQ(down.requests, 2);  // first rejected, retried
+    EXPECT_GT(t1, 100u);
+    EXPECT_TRUE(cache->isResident(0x1000));
+}
+
+TEST_F(CacheFixture, DirtyEvictionWritesBack)
+{
+    // Write-allocate store miss to line A.
+    bool store_done = false;
+    cache->writeAccess(0x1000, 0, [&](Tick) { store_done = true; });
+    eq.advanceTo(300);
+    EXPECT_TRUE(store_done);
+    EXPECT_EQ(cache->lineState(0x1000), LineState::Modified);
+
+    // Load to the conflicting line (same set, 1KB apart cfg: 16 sets).
+    Tick t = 0;
+    load(0x1000 + 1024, &t);
+    eq.advanceTo(600);
+    EXPECT_EQ(down.writebacks, 1);
+    EXPECT_FALSE(cache->isResident(0x1000));
+}
+
+TEST_F(CacheFixture, ExclusiveRequestForStoreMiss)
+{
+    cache->writeAccess(0x4000, 0, {});
+    eq.advanceTo(1);
+    EXPECT_TRUE(down.lastExclusive);
+    Tick t = 0;
+    load(0x5000, &t);
+    eq.advanceTo(2);
+    EXPECT_FALSE(down.lastExclusive);
+}
+
+TEST_F(CacheFixture, ProbeInvalidate)
+{
+    cache->writeAccess(0x1000, 0, {});
+    eq.advanceTo(300);
+    EXPECT_TRUE(cache->probeInvalidate(alignDown(0x1000, 64)));
+    EXPECT_FALSE(cache->isResident(0x1000));
+    EXPECT_FALSE(cache->probeInvalidate(alignDown(0x1000, 64)));
+}
+
+TEST_F(CacheFixture, ProbeDowngrade)
+{
+    cache->writeAccess(0x1000, 0, {});
+    eq.advanceTo(300);
+    EXPECT_TRUE(cache->probeDowngrade(alignDown(0x1000, 64)));
+    EXPECT_EQ(cache->lineState(0x1000), LineState::Shared);
+}
+
+TEST(CacheCoherent, UpgradeOnWriteToShared)
+{
+    EventQueue eq;
+    FakeDownstream down(eq, 50);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 64;
+    cfg.numMshrs = 4;
+    cfg.numPorts = 2;
+    cfg.hitLatency = 10;
+    Cache cache(eq, cfg, /*coherent=*/true, /*write_allocate=*/true);
+    cache.setDownstream(&down);
+
+    // Load brings the line in Shared.
+    cache.loadAccess(0x1000, 0, {});
+    eq.advanceTo(200);
+    EXPECT_EQ(cache.lineState(0x1000), LineState::Shared);
+
+    // Store to the Shared line must fetch exclusive permission.
+    bool done = false;
+    cache.writeAccess(0x1000, 0, [&](Tick) { done = true; });
+    eq.advanceTo(400);
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(down.lastExclusive);
+    EXPECT_EQ(cache.stats().upgrades, 1u);
+    EXPECT_EQ(cache.lineState(0x1000), LineState::Modified);
+}
+
+TEST(CacheAssoc, LruReplacement)
+{
+    EventQueue eq;
+    FakeDownstream down(eq, 10);
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64;  // one set, 2-way
+    cfg.assoc = 2;
+    cfg.lineBytes = 64;
+    cfg.numMshrs = 4;
+    cfg.numPorts = 4;
+    cfg.hitLatency = 1;
+    Cache cache(eq, cfg, false, true);
+    cache.setDownstream(&down);
+
+    cache.loadAccess(0x0000, 0, {});
+    eq.advanceTo(100);
+    cache.loadAccess(0x1000, 0, {});
+    eq.advanceTo(200);
+    // Touch line 0 so line 0x1000 becomes LRU.
+    cache.loadAccess(0x0000, 0, {});
+    eq.advanceTo(300);
+    cache.loadAccess(0x2000, 0, {});
+    eq.advanceTo(400);
+    EXPECT_TRUE(cache.isResident(0x0000));
+    EXPECT_FALSE(cache.isResident(0x1000));
+    EXPECT_TRUE(cache.isResident(0x2000));
+}
+
+// ---------------------------------------------------------------------
+// MainMemory timing
+// ---------------------------------------------------------------------
+
+TEST(MainMemory, UncontendedReadLatency)
+{
+    EventQueue eq;
+    MemBusConfig cfg;  // defaults: arb 1 bus cycle, 54 bank, 2 data cycles
+    MainMemory mem(eq, cfg, 64);
+    const Tick done = mem.readAccessAt(0, 0x1000);
+    // 1*3 (request) + 54 (bank) + 2*3 (data) = 63
+    EXPECT_EQ(done, 63u);
+}
+
+TEST(MainMemory, BankContentionSerializes)
+{
+    EventQueue eq;
+    MemBusConfig cfg;
+    cfg.interleave = Interleave::Sequential;
+    MainMemory mem(eq, cfg, 64);
+    // Two reads to the same bank (line indexes 0 and 4).
+    const Tick d1 = mem.readAccessAt(0, 0);
+    const Tick d2 = mem.readAccessAt(0, 4 * 64);
+    EXPECT_GE(d2, d1 + cfg.bankAccessLatency);
+}
+
+TEST(MainMemory, DifferentBanksOverlap)
+{
+    EventQueue eq;
+    MemBusConfig cfg;
+    cfg.interleave = Interleave::Sequential;
+    MainMemory mem(eq, cfg, 64);
+    const Tick d1 = mem.readAccessAt(0, 0);
+    const Tick d2 = mem.readAccessAt(0, 1 * 64);  // bank 1
+    // Second read waits only for the bus phases, not the whole bank time.
+    EXPECT_LT(d2, d1 + cfg.bankAccessLatency);
+}
+
+TEST(MainMemory, Utilizations)
+{
+    EventQueue eq;
+    MemBusConfig cfg;
+    MainMemory mem(eq, cfg, 64);
+    mem.readAccessAt(0, 0);
+    EXPECT_GT(mem.busUtilization(100), 0.0);
+    EXPECT_GT(mem.bankUtilization(100), 0.0);
+    EXPECT_EQ(mem.stats().reads, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Two-level hierarchy
+// ---------------------------------------------------------------------
+
+struct HierFixture : public ::testing::Test
+{
+    HierFixture()
+    {
+        MemHierarchy::Config cfg;
+        cfg.l1.name = "L1";
+        cfg.l1.sizeBytes = 1024;
+        cfg.l1.lineBytes = 64;
+        cfg.l1.numMshrs = 10;
+        cfg.l1.numPorts = 2;
+        cfg.l1.hitLatency = 1;
+        cfg.l2.name = "L2";
+        cfg.l2.sizeBytes = 4096;
+        cfg.l2.assoc = 4;
+        cfg.l2.lineBytes = 64;
+        cfg.l2.numMshrs = 10;
+        cfg.l2.numPorts = 1;
+        cfg.l2.hitLatency = 10;
+        hier = std::make_unique<MemHierarchy>(eq, cfg);
+        down = std::make_unique<FakeDownstream>(eq, 60);
+        hier->setDownstream(down.get());
+    }
+
+    EventQueue eq;
+    std::unique_ptr<MemHierarchy> hier;
+    std::unique_ptr<FakeDownstream> down;
+};
+
+TEST_F(HierFixture, L1HitFast)
+{
+    Tick t1 = 0;
+    hier->load(0x1000, 0, [&](Tick t) { t1 = t; });
+    eq.advanceTo(500);
+    EXPECT_GT(t1, 60u);  // cold miss went to memory
+
+    Tick t2 = 0;
+    hier->load(0x1000, 0, [&](Tick t) { t2 = t; });
+    eq.advanceTo(600);
+    EXPECT_EQ(t2, 501u);  // L1 hit: 1 cycle
+}
+
+TEST_F(HierFixture, L2HitMedium)
+{
+    hier->load(0x1000, 0, {});
+    eq.advanceTo(500);
+    // Evict from tiny L1 by filling its set (L1 1KB = 16 sets; +1KB).
+    hier->load(0x1000 + 1024, 0, {});
+    eq.advanceTo(1000);
+    Tick t = 0;
+    hier->load(0x1000, 0, [&](Tick tt) { t = tt; });
+    eq.advanceTo(1500);
+    // L1 miss -> L2 hit: ~1 + 10 + fill. Must be far below memory (60+).
+    EXPECT_GT(t, 1000u);
+    EXPECT_LE(t, 1000u + 20u);
+}
+
+TEST_F(HierFixture, StoreGoesToL2)
+{
+    bool done = false;
+    hier->store(0x2000, 0, [&](Tick) { done = true; });
+    eq.advanceTo(500);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(hier->l1().stats().writes, 0u);   // bypassed
+    EXPECT_EQ(hier->l2().stats().writes, 1u);
+    EXPECT_EQ(hier->l2().lineState(0x2000), LineState::Modified);
+}
+
+TEST_F(HierFixture, InclusionBackInvalidatesL1)
+{
+    hier->load(0x1000, 0, {});
+    eq.advanceTo(500);
+    ASSERT_TRUE(hier->l1().isResident(0x1000));
+    // Force L2 eviction of that set (L2 4KB 4-way = 16 sets; stride 1KB).
+    // One load per "cycle burst": the L1 has only 2 ports per cycle.
+    for (int i = 1; i <= 4; ++i) {
+        ASSERT_EQ(hier->load(0x1000 + i * 1024, 0, {}),
+                  Cache::Status::Ok);
+        eq.advanceTo(500 + i * 300);
+    }
+    eq.advanceTo(2000);
+    EXPECT_FALSE(hier->l2().isResident(0x1000));
+    EXPECT_FALSE(hier->l1().isResident(0x1000));
+}
+
+TEST(HierSingleLevel, LoadsAndStoresShareCache)
+{
+    EventQueue eq;
+    MemHierarchy::Config cfg;
+    cfg.singleLevel = true;
+    cfg.l1.sizeBytes = 4096;
+    cfg.l1.assoc = 4;
+    cfg.l1.lineBytes = 32;
+    cfg.l1.numMshrs = 10;
+    cfg.l1.numPorts = 2;
+    cfg.l1.hitLatency = 2;
+    MemHierarchy hier(eq, cfg);
+    FakeDownstream down(eq, 80);
+    hier.setDownstream(&down);
+
+    hier.load(0x100, 0, {});
+    hier.store(0x200, 0, {});
+    eq.advanceTo(500);
+    EXPECT_EQ(hier.l2().stats().loads, 1u);
+    EXPECT_EQ(hier.l2().stats().writes, 1u);
+    EXPECT_TRUE(hier.l2().isResident(0x100));
+    EXPECT_TRUE(hier.l2().isResident(0x200));
+}
+
+} // namespace
+} // namespace mpc::mem

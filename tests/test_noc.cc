@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the interconnect transports: mesh geometry, XY
+ * routing latency, link contention, and the shared SMP bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace mpc::noc
+{
+namespace
+{
+
+MeshConfig
+cfg()
+{
+    MeshConfig c;
+    c.flitBytes = 8;
+    c.cpuCyclesPerNetCycle = 2;
+    c.hopDelayNetCycles = 2;
+    return c;
+}
+
+TEST(Mesh, GeometryFactorizations)
+{
+    EXPECT_EQ(Mesh(16, cfg()).width(), 4);
+    EXPECT_EQ(Mesh(16, cfg()).height(), 4);
+    EXPECT_EQ(Mesh(8, cfg()).width(), 4);
+    EXPECT_EQ(Mesh(8, cfg()).height(), 2);
+    EXPECT_EQ(Mesh(1, cfg()).width(), 1);
+    EXPECT_EQ(Mesh(7, cfg()).width(), 7);  // prime: a line
+}
+
+TEST(Mesh, HopCounts)
+{
+    Mesh mesh(16, cfg());
+    EXPECT_EQ(mesh.hopCount(0, 0), 0);
+    EXPECT_EQ(mesh.hopCount(0, 3), 3);    // same row
+    EXPECT_EQ(mesh.hopCount(0, 12), 3);   // same column
+    EXPECT_EQ(mesh.hopCount(0, 15), 6);   // opposite corner
+    EXPECT_EQ(mesh.hopCount(5, 10), 2);
+}
+
+TEST(Mesh, LatencyScalesWithDistance)
+{
+    Mesh mesh(16, cfg());
+    const Tick t1 = mesh.send(0, 0, 1, 1);
+    Mesh mesh2(16, cfg());
+    const Tick t6 = mesh2.send(0, 0, 15, 1);
+    EXPECT_GT(t6, t1);
+    // Per hop: serialization (1 flit x 2 cpu/net) + hop delay (2 net
+    // cycles x 2) = 6 cpu cycles.
+    EXPECT_EQ(t1, 6u);
+    EXPECT_EQ(t6, 36u);
+}
+
+TEST(Mesh, SelfSendIsFree)
+{
+    Mesh mesh(16, cfg());
+    EXPECT_EQ(mesh.send(100, 3, 3, 9), 100u);
+}
+
+TEST(Mesh, DataMessagesCostMoreThanControl)
+{
+    Mesh a(16, cfg()), b(16, cfg());
+    const Tick ctrl = a.send(0, 0, 15, Transport::controlFlits);
+    const Tick data = b.send(0, 0, 15, Transport::dataFlits(64, 8));
+    EXPECT_GT(data, ctrl);
+}
+
+TEST(Mesh, LinkContentionSerializes)
+{
+    // Two messages over the same first link: the second waits for the
+    // first one's serialization on that link.
+    Mesh mesh(16, cfg());
+    const Tick first = mesh.send(0, 0, 3, 9);
+    const Tick second = mesh.send(0, 0, 3, 9);
+    EXPECT_GT(second, first);
+    // Disjoint paths do not contend.
+    Mesh mesh2(16, cfg());
+    const Tick up = mesh2.send(0, 0, 3, 9);
+    const Tick down = mesh2.send(0, 12, 15, 9);
+    EXPECT_EQ(up, down);
+}
+
+TEST(Mesh, TracksLinkBusy)
+{
+    Mesh mesh(16, cfg());
+    EXPECT_EQ(mesh.totalLinkBusy(), 0u);
+    mesh.send(0, 0, 15, 9);
+    EXPECT_GT(mesh.totalLinkBusy(), 0u);
+}
+
+TEST(SharedBus, SerializesEverything)
+{
+    SharedBusConfig cfg;
+    cfg.busWidthBytes = 8;
+    cfg.cpuCyclesPerBusCycle = 3;
+    cfg.arbCycles = 1;
+    SharedBus bus(cfg);
+    // Even disjoint node pairs share the bus.
+    const Tick a = bus.send(0, 0, 1, 2);   // (1 arb + 2 flits) * 3 = 9
+    EXPECT_EQ(a, 9u);
+    const Tick b = bus.send(0, 2, 3, 2);
+    EXPECT_EQ(b, 18u);
+    EXPECT_EQ(bus.busyTicks(), 18u);
+}
+
+TEST(Transport, FlitAccounting)
+{
+    EXPECT_EQ(Transport::controlFlits, 1);
+    EXPECT_EQ(Transport::dataFlits(64, 8), 9);   // header + 8 payload
+    EXPECT_EQ(Transport::dataFlits(32, 8), 5);
+}
+
+} // namespace
+} // namespace mpc::noc

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * mpclust command-line driver: run any workload under any configuration
+ * with or without the clustering transformations, and print the
+ * execution-time breakdown, the compiler's decisions, MSHR utilization,
+ * or the transformed kernel.
+ *
+ * Usage:
+ *   mpclust <workload> [options]
+ *
+ *   --scale N        input scale 1..3 (default 2)
+ *   --procs N        processor count (default: workload's, or 1)
+ *   --config NAME    base | 1ghz | exemplar (default base)
+ *   --base-only      run only the untransformed version
+ *   --clust-only     run only the clustered version
+ *   --prefetch N     also insert software prefetches N lines ahead
+ *   --max-unroll N   cap the unroll-and-jam degree (default 16)
+ *   --show-kernel    print the (transformed) kernel IR
+ *   --show-refs      per-reference L2 access/miss counts (clustered run)
+ *   --show-mshr      print the Figure 4 style MSHR utilization
+ *   --list           list workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "codegen/codegen.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "transform/transforms.hh"
+#include "workloads/workload.hh"
+
+using namespace mpc;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <workload> [--scale N] [--procs N] "
+                 "[--config base|1ghz|exemplar]\n"
+                 "       [--base-only|--clust-only] [--prefetch N] "
+                 "[--max-unroll N]\n"
+                 "       [--show-kernel] [--show-mshr] | --list\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+printRun(const char *label, const sys::RunResult &r)
+{
+    std::printf("%-6s %10llu cycles (%.2f ms simulated) | busy %.0f  "
+                "cpu %.0f  dataR %.0f  dataW %.0f  sync %.0f\n",
+                label, (unsigned long long)r.cycles,
+                r.execNs() / 1e6, r.busyCycles, r.cpuCycles,
+                r.dataReadCycles, r.dataWriteCycles, r.syncCycles);
+    std::printf("       l1: %llu loads, %llu misses | l2: %llu+%llu "
+                "misses, %llu coalesced | bus %.0f%% bank %.0f%%\n",
+                (unsigned long long)r.l1.loads,
+                (unsigned long long)r.l1.loadMisses,
+                (unsigned long long)r.l2.loadMisses,
+                (unsigned long long)r.l2.writeMisses,
+                (unsigned long long)(r.l2.loadCoalesced +
+                                     r.l2.writeCoalesced),
+                r.busUtilization * 100.0, r.bankUtilization * 100.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    if (std::strcmp(argv[1], "--list") == 0) {
+        workloads::SizeParams size;
+        std::printf("latbench\n");
+        for (const auto &w : workloads::makeAllApps(size))
+            std::printf("%s\n", w.name.c_str());
+        return 0;
+    }
+
+    const std::string name = argv[1];
+    workloads::SizeParams size;
+    size.scale = 2;
+    int procs = -1;
+    std::string config_name = "base";
+    bool run_base = true, run_clust = true;
+    int prefetch = 0;
+    int max_unroll = 16;
+    bool show_kernel = false, show_mshr = false, show_refs = false;
+
+    for (int a = 2; a < argc; ++a) {
+        const std::string arg = argv[a];
+        auto next = [&]() -> const char * {
+            if (a + 1 >= argc)
+                usage(argv[0]);
+            return argv[++a];
+        };
+        if (arg == "--scale")
+            size.scale = std::atoi(next());
+        else if (arg == "--procs")
+            procs = std::atoi(next());
+        else if (arg == "--config")
+            config_name = next();
+        else if (arg == "--base-only")
+            run_clust = false;
+        else if (arg == "--clust-only")
+            run_base = false;
+        else if (arg == "--prefetch")
+            prefetch = std::atoi(next());
+        else if (arg == "--max-unroll")
+            max_unroll = std::atoi(next());
+        else if (arg == "--show-kernel")
+            show_kernel = true;
+        else if (arg == "--show-refs")
+            show_refs = true;
+        else if (arg == "--show-mshr")
+            show_mshr = true;
+        else
+            usage(argv[0]);
+    }
+
+    auto w = workloads::makeByName(name, size);
+    if (prefetch > 0)
+        transform::insertPrefetches(w.kernel, prefetch);
+    if (procs < 0)
+        procs = std::max(w.defaultProcs, 1);
+
+    harness::RunSpec spec;
+    if (config_name == "base")
+        spec.config = sys::baseConfig();
+    else if (config_name == "1ghz")
+        spec.config = sys::oneGHzConfig();
+    else if (config_name == "exemplar")
+        spec.config = sys::exemplarConfig();
+    else
+        usage(argv[0]);
+    spec.procs = procs;
+    spec.maxUnroll = max_unroll;
+
+    std::printf("workload %s  scale %d  procs %d  config %s\n\n",
+                name.c_str(), size.scale, procs, config_name.c_str());
+
+    harness::WorkloadRun base, clust;
+    if (run_base) {
+        spec.clustered = false;
+        base = harness::runWorkload(w, spec);
+        printRun("base", base.result);
+    }
+    if (run_clust) {
+        spec.clustered = true;
+        clust = harness::runWorkload(w, spec);
+        printRun("clust", clust.result);
+        std::printf("\n%s",
+                    harness::formatDriverSummary(name, clust.report)
+                        .c_str());
+        if (show_kernel)
+            std::printf("\n%s\n", clust.kernelText.c_str());
+    }
+    if (run_base && run_clust) {
+        std::printf("\nexecution time reduction: %.1f%%\n",
+                    (1.0 - double(clust.result.cycles) /
+                               double(base.result.cycles)) *
+                        100.0);
+    }
+    if (show_refs && run_clust) {
+        std::printf("\nper-reference L2 behaviour (clustered run):\n");
+        std::printf("  %-8s %12s %12s %10s\n", "refId", "accesses",
+                    "misses", "miss rate");
+        for (const auto &[ref_id, counts] : clust.result.l2.perRef) {
+            if (counts.accesses == 0)
+                continue;
+            std::printf("  %-8u %12llu %12llu %9.1f%%\n", ref_id,
+                        (unsigned long long)counts.accesses,
+                        (unsigned long long)counts.misses,
+                        100.0 * double(counts.misses) /
+                            double(counts.accesses));
+        }
+    }
+    if (show_mshr && run_base && run_clust) {
+        std::vector<const sys::RunResult *> runs{&base.result,
+                                                 &clust.result};
+        std::printf("\n%s",
+                    harness::formatFig4({"base", "clust"}, runs,
+                                        "L2 MSHR utilization")
+                        .c_str());
+    }
+    return 0;
+}
