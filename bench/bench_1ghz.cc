@@ -16,23 +16,25 @@ main()
     const auto config = sys::oneGHzConfig();
 
     std::fprintf(stderr, "uniprocessor 1 GHz runs...\n");
-    auto [uni_names, uni] =
+    const auto uni =
         bench::runApps(bench::allAppNames(), config, false, size);
     std::printf("%s\n",
                 harness::formatFig3(
-                    uni_names, uni,
+                    uni.names, uni.pairs,
                     "E6: uniprocessor at 1 GHz "
                     "(paper: 12-50% reduction, avg 33%)")
                     .c_str());
 
     std::fprintf(stderr, "multiprocessor 1 GHz runs...\n");
-    auto [multi_names, multi] =
+    const auto multi =
         bench::runApps(bench::allAppNames(), config, true, size);
     std::printf("%s\n",
                 harness::formatFig3(
-                    multi_names, multi,
+                    multi.names, multi.pairs,
                     "E6: multiprocessor at 1 GHz "
                     "(paper: 5-36% reduction, avg 21%)")
                     .c_str());
+    bench::reportTimings("1ghz_uni", uni);
+    bench::reportTimings("1ghz_multi", multi);
     return 0;
 }

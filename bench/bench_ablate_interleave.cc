@@ -21,14 +21,27 @@ main()
         {mem::Interleave::Permutation, "permutation (base config)"},
         {mem::Interleave::Skewed, "skewed (Exemplar)"},
     };
+    std::vector<harness::PairJob> jobs;
     for (const char *name : {"lu", "fft"}) {
-        const auto w = workloads::makeByName(name, size);
+        for (const auto &[policy, label] : policies) {
+            harness::PairJob job;
+            job.label = std::string(name) + "/" + label;
+            job.workload = workloads::makeByName(name, size);
+            job.config = bench::applyStepMode(sys::baseConfig());
+            job.config.membus.interleave = policy;
+            job.procs = 1;
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::fprintf(stderr, "running %zu sweep points in parallel...\n",
+                 jobs.size());
+    const auto results = harness::runPairsParallel(jobs);
+    std::size_t i = 0;
+    for (const char *name : {"lu", "fft"}) {
         std::printf("%s:\n", name);
         for (const auto &[policy, label] : policies) {
-            std::fprintf(stderr, "  %s %s...\n", name, label);
-            auto config = sys::baseConfig();
-            config.membus.interleave = policy;
-            const auto pair = harness::runPair(w, config, 1);
+            (void)policy;
+            const auto &pair = results[i++].pair;
             std::printf("  %-26s base %9llu  clust %9llu  "
                         "(%5.1f%% reduction)\n",
                         label,

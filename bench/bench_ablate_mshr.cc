@@ -15,15 +15,28 @@ main()
     const auto size = bench::scaleFromEnv();
     std::printf("=== A3: MSHR-count (lp) sweep, Latbench and LU "
                 "(uniprocessor) ===\n\n");
+    const int mshr_counts[] = {1, 2, 4, 8, 10, 16};
+    std::vector<harness::PairJob> jobs;
     for (const char *name : {"latbench", "lu"}) {
-        const auto w = workloads::makeByName(name, size);
+        for (int mshrs : mshr_counts) {
+            harness::PairJob job;
+            job.label = std::string(name) + "/lp" + std::to_string(mshrs);
+            job.workload = workloads::makeByName(name, size);
+            job.config = bench::applyStepMode(sys::baseConfig());
+            job.config.hier.l1.numMshrs = mshrs;
+            job.config.hier.l2.numMshrs = mshrs;
+            job.procs = 1;
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::fprintf(stderr, "running %zu sweep points in parallel...\n",
+                 jobs.size());
+    const auto results = harness::runPairsParallel(jobs);
+    std::size_t i = 0;
+    for (const char *name : {"latbench", "lu"}) {
         std::printf("%s:\n", name);
-        for (int mshrs : {1, 2, 4, 8, 10, 16}) {
-            std::fprintf(stderr, "  %s mshrs=%d...\n", name, mshrs);
-            auto config = sys::baseConfig();
-            config.hier.l1.numMshrs = mshrs;
-            config.hier.l2.numMshrs = mshrs;
-            const auto pair = harness::runPair(w, config, 1);
+        for (int mshrs : mshr_counts) {
+            const auto &pair = results[i++].pair;
             std::printf("  lp=%-2d  base %9llu  clust %9llu  "
                         "(%5.1f%% reduction)\n",
                         mshrs,

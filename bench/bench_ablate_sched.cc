@@ -47,7 +47,8 @@ runVariant(const workloads::Workload &w, bool transform, bool schedule)
         codegen::lowerForCores(kernel, 1, schedule, leading);
     kisa::MemoryImage image;
     w.init(image);
-    auto config = harness::scaleConfig(sys::baseConfig(), w);
+    auto config = bench::applyStepMode(
+        harness::scaleConfig(sys::baseConfig(), w));
     sys::System system(config, std::move(programs), image);
     return system.run().cycles;
 }
@@ -60,17 +61,38 @@ main()
     const auto size = bench::scaleFromEnv();
     std::printf("=== A2: transformation vs scheduling ablation "
                 "(uniprocessor) ===\n\n");
-    for (const char *name : {"mp3d", "lu", "erlebacher"}) {
-        const auto w = workloads::makeByName(name, size);
-        std::fprintf(stderr, "running %s variants...\n", name);
-        const Tick none = runVariant(w, false, false);
-        const Tick sched = runVariant(w, false, true);
-        const Tick xform = runVariant(w, true, false);
-        const Tick both = runVariant(w, true, true);
+
+    static constexpr const char *apps[] = {"mp3d", "lu", "erlebacher"};
+    // Variant grid (transform, schedule) per app; all 12 sims are
+    // independent, so the whole grid goes through the pool at once.
+    static constexpr std::pair<bool, bool> variants[] = {
+        {false, false}, {false, true}, {true, false}, {true, true}};
+    constexpr std::size_t nvar = std::size(variants);
+
+    std::vector<workloads::Workload> loads;
+    for (const char *name : apps)
+        loads.push_back(workloads::makeByName(name, size));
+    std::vector<Tick> cycles(std::size(apps) * nvar, 0);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t a = 0; a < std::size(apps); ++a)
+        for (std::size_t v = 0; v < nvar; ++v)
+            tasks.push_back([&loads, &cycles, a, v] {
+                cycles[a * nvar + v] = runVariant(
+                    loads[a], variants[v].first, variants[v].second);
+            });
+    std::fprintf(stderr, "running %zu variants in parallel...\n",
+                 tasks.size());
+    harness::ParallelRunner().run(tasks);
+
+    for (std::size_t a = 0; a < std::size(apps); ++a) {
+        const Tick none = cycles[a * nvar + 0];
+        const Tick sched = cycles[a * nvar + 1];
+        const Tick xform = cycles[a * nvar + 2];
+        const Tick both = cycles[a * nvar + 3];
         auto pct = [none](Tick t) {
             return (1.0 - double(t) / double(none)) * 100.0;
         };
-        std::printf("%s:\n", name);
+        std::printf("%s:\n", apps[a]);
         std::printf("  none            %9llu cycles\n",
                     (unsigned long long)none);
         std::printf("  schedule only   %9llu cycles  (%5.1f%%)\n",

@@ -1,18 +1,28 @@
 /**
  * @file
- * Shared plumbing for the figure/table benches: scale selection via
- * the MPC_SCALE environment variable (1 = quick, 2 = default paper-
- * shape runs, 3 = large), and run helpers with progress output.
+ * Shared plumbing for the figure/table benches:
+ *
+ *  - scale selection via MPC_SCALE (1 = quick, 2 = default paper-shape
+ *    runs, 3 = large);
+ *  - step-mode selection via MPC_STEP_MODE ("reference" forces the
+ *    cycle-step loop; anything else keeps quiescence skip-ahead on —
+ *    results are bit-identical either way);
+ *  - parallel experiment execution on harness::ParallelRunner (thread
+ *    count via MPC_JOBS), with per-run wall-clock/sim-rate reporting;
+ *  - machine-readable BENCH_<name>.json emission.
  */
 
 #ifndef MPC_BENCH_COMMON_HH
 #define MPC_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "workloads/workload.hh"
@@ -32,29 +42,153 @@ scaleFromEnv()
     return size;
 }
 
-/** Run base+clust for each named app and collect the pairs. */
-inline std::pair<std::vector<std::string>,
-                 std::vector<harness::PairResult>>
+/** True when MPC_STEP_MODE=reference requests the cycle-step loop. */
+inline bool
+referenceStepMode()
+{
+    const char *env = std::getenv("MPC_STEP_MODE");
+    return env != nullptr && std::string(env) == "reference";
+}
+
+/** Apply the MPC_STEP_MODE knob to a system configuration. */
+inline sys::SystemConfig
+applyStepMode(sys::SystemConfig config)
+{
+    if (referenceStepMode())
+        config.skipAhead = false;
+    return config;
+}
+
+/** One timed run for the JSON report. */
+struct JsonRun
+{
+    std::string label;
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0;
+    double cyclesPerSec = 0.0;
+};
+
+/**
+ * Write BENCH_<bench>.json in the working directory: host cost and sim
+ * rate per run, plus the bench-wide totals CI trends over time.
+ */
+inline void
+writeBenchJson(const std::string &bench, const std::vector<JsonRun> &runs,
+               int threads, double total_wall_seconds)
+{
+    const std::string path = "BENCH_" + bench + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(f, "  \"scale\": %d,\n", scaleFromEnv().scale);
+    std::fprintf(f, "  \"stepMode\": \"%s\",\n",
+                 referenceStepMode() ? "reference" : "skip");
+    std::fprintf(f, "  \"threads\": %d,\n", threads);
+    std::fprintf(f, "  \"totalWallSeconds\": %.6f,\n", total_wall_seconds);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"wallSeconds\": %.6f, "
+                     "\"simCycles\": %llu, \"cyclesPerSec\": %.1f}%s\n",
+                     r.label.c_str(), r.wallSeconds,
+                     static_cast<unsigned long long>(r.simCycles),
+                     r.cyclesPerSec, i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+/** What a figure/table bench gets back from a parallel app sweep. */
+struct AppRunResults
+{
+    std::vector<std::string> names;
+    std::vector<harness::PairResult> pairs;
+    std::vector<harness::RunTiming> baseTimings;
+    std::vector<harness::RunTiming> clustTimings;
+    int threads = 1;
+    double totalWallSeconds = 0.0;
+};
+
+/**
+ * Run base+clust for each named app, all sims in parallel. Output
+ * (names, pairs) order matches @p names regardless of thread count.
+ */
+inline AppRunResults
 runApps(const std::vector<std::string> &names,
         const sys::SystemConfig &config, bool multiprocessor,
         const workloads::SizeParams &size)
 {
-    std::vector<std::string> used;
-    std::vector<harness::PairResult> pairs;
+    const sys::SystemConfig cfg = applyStepMode(config);
+    std::vector<harness::PairJob> jobs;
     for (const auto &name : names) {
-        const auto w = workloads::makeByName(name, size);
+        auto w = workloads::makeByName(name, size);
         const int procs = multiprocessor ? w.defaultProcs : 1;
         if (procs == 0)
             continue;   // uniprocessor-only app in a multi experiment
-        std::fprintf(stderr, "  running %s (%d proc%s)...\n",
-                     name.c_str(), std::max(procs, 1),
-                     procs > 1 ? "s" : "");
-        pairs.push_back(harness::runPair(w, config, procs));
-        used.push_back(name + (procs > 1
-                                   ? "/" + std::to_string(procs) + "p"
-                                   : ""));
+        harness::PairJob job;
+        job.label = name + (procs > 1
+                                ? "/" + std::to_string(procs) + "p"
+                                : "");
+        job.workload = std::move(w);
+        job.config = cfg;
+        job.procs = procs;
+        jobs.push_back(std::move(job));
     }
-    return {used, pairs};
+
+    harness::ParallelRunner runner;
+    std::fprintf(stderr, "  running %zu experiment pairs on %d thread%s...\n",
+                 jobs.size(), runner.threads(),
+                 runner.threads() > 1 ? "s" : "");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto timed = harness::runPairsParallel(jobs, runner.threads());
+    const auto t1 = std::chrono::steady_clock::now();
+
+    AppRunResults out;
+    out.threads = runner.threads();
+    out.totalWallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        out.names.push_back(jobs[i].label);
+        out.pairs.push_back(std::move(timed[i].pair));
+        out.baseTimings.push_back(timed[i].baseTiming);
+        out.clustTimings.push_back(timed[i].clustTiming);
+    }
+    return out;
+}
+
+/**
+ * Print per-run host timing (to stderr — stdout carries only
+ * deterministic simulated results, so skip-vs-reference diffs of a
+ * bench's stdout stay byte-clean) and emit BENCH_<bench>.json.
+ */
+inline void
+reportTimings(const std::string &bench, const AppRunResults &r)
+{
+    std::vector<JsonRun> runs;
+    std::fprintf(stderr, "\n-- host cost (%d thread%s, %.2fs total) --\n",
+                 r.threads, r.threads > 1 ? "s" : "", r.totalWallSeconds);
+    for (std::size_t i = 0; i < r.names.size(); ++i) {
+        const auto &base = r.pairs[i].base.result;
+        const auto &clust = r.pairs[i].clust.result;
+        std::fprintf(stderr,
+                     "%-14s base  %6.2fs  %9.0f cyc/s   "
+                     "clust %6.2fs  %9.0f cyc/s\n",
+                     r.names[i].c_str(), r.baseTimings[i].wallSeconds,
+                     r.baseTimings[i].cyclesPerSec,
+                     r.clustTimings[i].wallSeconds,
+                     r.clustTimings[i].cyclesPerSec);
+        runs.push_back({r.names[i] + "/base", r.baseTimings[i].wallSeconds,
+                        base.cycles, r.baseTimings[i].cyclesPerSec});
+        runs.push_back({r.names[i] + "/clust",
+                        r.clustTimings[i].wallSeconds, clust.cycles,
+                        r.clustTimings[i].cyclesPerSec});
+    }
+    writeBenchJson(bench, runs, r.threads, r.totalWallSeconds);
 }
 
 inline const std::vector<std::string> &

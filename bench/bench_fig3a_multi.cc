@@ -13,18 +13,19 @@ main()
 {
     using namespace mpc;
     const auto size = bench::scaleFromEnv();
-    auto [names, pairs] = bench::runApps(bench::allAppNames(),
-                                         sys::baseConfig(), true, size);
+    const auto r = bench::runApps(bench::allAppNames(),
+                                  sys::baseConfig(), true, size);
     std::printf("%s\n",
                 harness::formatFig3(
-                    names, pairs,
+                    r.names, r.pairs,
                     "E2 / Figure 3(a): multiprocessor execution time "
                     "(paper: 5-39% reduction, avg 20%)")
                     .c_str());
-    for (size_t i = 0; i < names.size(); ++i)
+    for (size_t i = 0; i < r.names.size(); ++i)
         std::printf("%s",
-                    harness::formatDriverSummary(names[i],
-                                                 pairs[i].clust.report)
+                    harness::formatDriverSummary(r.names[i],
+                                                 r.pairs[i].clust.report)
                         .c_str());
+    bench::reportTimings("fig3a_multi", r);
     return 0;
 }

@@ -13,18 +13,19 @@ main()
 {
     using namespace mpc;
     const auto size = bench::scaleFromEnv();
-    auto [names, pairs] = bench::runApps(bench::allAppNames(),
-                                         sys::baseConfig(), false, size);
+    const auto r = bench::runApps(bench::allAppNames(),
+                                  sys::baseConfig(), false, size);
     std::printf("%s\n",
                 harness::formatFig3(
-                    names, pairs,
+                    r.names, r.pairs,
                     "E3 / Figure 3(b): uniprocessor execution time "
                     "(paper: 11-49% reduction, avg 30%)")
                     .c_str());
-    for (size_t i = 0; i < names.size(); ++i)
+    for (size_t i = 0; i < r.names.size(); ++i)
         std::printf("%s",
-                    harness::formatDriverSummary(names[i],
-                                                 pairs[i].clust.report)
+                    harness::formatDriverSummary(r.names[i],
+                                                 r.pairs[i].clust.report)
                         .c_str());
+    bench::reportTimings("fig3b_uni", r);
     return 0;
 }

@@ -17,16 +17,18 @@ main()
     using namespace mpc;
     const auto size = bench::scaleFromEnv();
 
-    const auto ocean = workloads::makeOcean(size);
-    std::fprintf(stderr, "running ocean (%d procs)...\n",
-                 ocean.defaultProcs);
-    const auto ocean_pair =
-        harness::runPair(ocean, sys::baseConfig(), ocean.defaultProcs);
-
-    const auto lu = workloads::makeLu(size);
-    std::fprintf(stderr, "running lu (%d procs)...\n", lu.defaultProcs);
-    const auto lu_pair =
-        harness::runPair(lu, sys::baseConfig(), lu.defaultProcs);
+    std::vector<harness::PairJob> jobs(2);
+    jobs[0].workload = workloads::makeOcean(size);
+    jobs[1].workload = workloads::makeLu(size);
+    for (auto &job : jobs) {
+        job.label = job.workload.name;
+        job.config = bench::applyStepMode(sys::baseConfig());
+        job.procs = job.workload.defaultProcs;
+    }
+    std::fprintf(stderr, "running ocean and lu pairs in parallel...\n");
+    const auto results = harness::runPairsParallel(jobs);
+    const auto &ocean_pair = results[0].pair;
+    const auto &lu_pair = results[1].pair;
 
     std::vector<std::string> labels{"Ocean", "Ocean(clust)", "LU",
                                     "LU(clust)"};

@@ -1,16 +1,24 @@
 /**
  * @file
- * P1: google-benchmark microbenchmarks of the simulator substrate
- * itself — how fast the host simulates the core, caches, and compiler
- * passes. These guard against performance regressions in the simulator
- * (a slow simulator caps the experiment sizes everything else uses).
+ * P1: hand-timed microbenchmarks of the simulator substrate itself —
+ * how fast the host runs the event queue, the core model, and the
+ * compiler passes. These guard against performance regressions in the
+ * simulator (a slow simulator caps the experiment sizes everything
+ * else uses). Results go to stdout and BENCH_substrate.json.
+ *
+ * Usage: bench_substrate [--smoke]
+ *   --smoke runs reduced sizes (a few seconds total) for CI.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
+
+#include <chrono>
+#include <cstring>
 
 #include "analysis/analysis.hh"
 #include "codegen/codegen.hh"
 #include "kisa/interp.hh"
+#include "mem/eventq.hh"
 #include "system/system.hh"
 #include "transform/driver.hh"
 #include "workloads/workload.hh"
@@ -19,6 +27,24 @@ namespace
 {
 
 using namespace mpc;
+using clock_type = std::chrono::steady_clock;
+
+double
+secondsSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+std::vector<bench::JsonRun> g_runs;
+
+void
+record(const std::string &label, double wall, std::uint64_t items)
+{
+    const double rate = wall > 0.0 ? static_cast<double>(items) / wall : 0.0;
+    std::printf("%-26s %8.3fs  %12llu items  %12.0f /s\n", label.c_str(),
+                wall, static_cast<unsigned long long>(items), rate);
+    g_runs.push_back({label, wall, items, rate});
+}
 
 kisa::Program
 streamProgram(int iters)
@@ -39,82 +65,168 @@ streamProgram(int iters)
     return b.finish();
 }
 
-void
-BM_InterpreterThroughput(benchmark::State &state)
+/** Self-rescheduling event chains through a queue implementation. */
+template <typename Queue>
+std::uint64_t
+eventChurn(std::uint64_t events)
 {
-    const auto program = streamProgram(10000);
-    for (auto _ : state) {
-        kisa::MemoryImage mem;
-        kisa::Interpreter interp(mem);
-        interp.addCore(program);
-        benchmark::DoNotOptimize(interp.run(1u << 26));
+    Queue q;
+    std::uint64_t fired = 0;
+    // Four interleaved chains at staggered short delays (the hot-path
+    // shape: hit/fill latencies within the calendar-wheel horizon),
+    // plus one long-delay chain exercising the far-future path.
+    const Tick deltas[] = {3, 7, 19, 63, 700};
+    for (Tick d : deltas) {
+        auto chain = [&q, &fired, d, events](auto &&self) -> void {
+            if (++fired >= events)
+                return;
+            q.scheduleIn(d, [self]() mutable { self(self); });
+        };
+        q.scheduleIn(d, [chain]() mutable { chain(chain); });
     }
-    state.SetItemsProcessed(state.iterations() * 50000);
+    while (!q.empty() && fired < events)
+        q.advanceTo(q.nextEventTick());
+    return fired;
 }
-BENCHMARK(BM_InterpreterThroughput);
 
 void
-BM_SimulatorThroughput(benchmark::State &state)
+benchEventQueues(std::uint64_t events)
 {
-    for (auto _ : state) {
-        state.PauseTiming();
-        kisa::MemoryImage mem;
-        std::vector<kisa::Program> programs;
-        programs.push_back(streamProgram(4000));
-        sys::System system(sys::baseConfig(), std::move(programs), mem);
-        state.ResumeTiming();
-        benchmark::DoNotOptimize(system.run().cycles);
-    }
-    state.SetItemsProcessed(state.iterations() * 20000);
+    auto t0 = clock_type::now();
+    const auto fired = eventChurn<mem::EventQueue>(events);
+    record("eventq/wheel", secondsSince(t0), fired);
+
+    t0 = clock_type::now();
+    const auto fired_heap = eventChurn<mem::HeapEventQueue>(events);
+    record("eventq/heap-oracle", secondsSince(t0), fired_heap);
 }
-BENCHMARK(BM_SimulatorThroughput);
 
 void
-BM_AnalysisPass(benchmark::State &state)
+benchInterpreter(int iters)
 {
-    workloads::SizeParams size;
-    size.scale = 1;
-    auto w = workloads::makeOcean(size);
-    analysis::AnalysisParams params;
-    for (auto _ : state) {
-        auto nests = analysis::findLoopNests(w.kernel);
-        for (auto &nest : nests) {
-            benchmark::DoNotOptimize(
-                analysis::analyzeInnerLoop(w.kernel, nest, params));
-        }
-    }
+    const auto program = streamProgram(iters);
+    kisa::MemoryImage mem;
+    kisa::Interpreter interp(mem);
+    interp.addCore(program);
+    const auto t0 = clock_type::now();
+    interp.run(1u << 26);
+    record("interp/stream", secondsSince(t0),
+           static_cast<std::uint64_t>(iters) * 5);
 }
-BENCHMARK(BM_AnalysisPass);
 
 void
-BM_ClusteringDriver(benchmark::State &state)
+benchSimulator(int iters, bool skip_ahead, const char *label)
+{
+    kisa::MemoryImage mem;
+    std::vector<kisa::Program> programs;
+    programs.push_back(streamProgram(iters));
+    auto config = sys::baseConfig();
+    config.skipAhead = skip_ahead;
+    sys::System system(config, std::move(programs), mem);
+    const auto t0 = clock_type::now();
+    const auto cycles = system.run().cycles;
+    record(label, secondsSince(t0), cycles);
+}
+
+void
+benchOceanRun(bool skip_ahead, const char *label)
 {
     workloads::SizeParams size;
     size.scale = 1;
     const auto w = workloads::makeOcean(size);
-    transform::DriverParams params;
-    params.bodySize = codegen::loweredBodySize;
-    for (auto _ : state) {
-        ir::Kernel kernel = w.kernel.clone();
-        benchmark::DoNotOptimize(
-            transform::applyClustering(kernel, params));
-    }
+    harness::RunSpec spec;
+    spec.config.skipAhead = skip_ahead;
+    const auto timed = harness::runWorkloadTimed(w, spec);
+    record(label, timed.timing.wallSeconds, timed.run.result.cycles);
 }
-BENCHMARK(BM_ClusteringDriver);
 
 void
-BM_Codegen(benchmark::State &state)
+benchCompiler(int reps)
 {
     workloads::SizeParams size;
     size.scale = 1;
-    const auto w = workloads::makeMp3d(size);
-    codegen::CodegenOptions options;
-    options.clusteredSchedule = true;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(codegen::lower(w.kernel, options));
+    auto w = workloads::makeOcean(size);
+
+    auto t0 = clock_type::now();
+    std::uint64_t analyzed = 0;
+    for (int r = 0; r < reps; ++r) {
+        auto nests = analysis::findLoopNests(w.kernel);
+        analysis::AnalysisParams params;
+        for (auto &nest : nests) {
+            (void)analysis::analyzeInnerLoop(w.kernel, nest, params);
+            ++analyzed;
+        }
+    }
+    record("compiler/analysis", secondsSince(t0), analyzed);
+
+    transform::DriverParams params;
+    params.bodySize = codegen::loweredBodySize;
+    t0 = clock_type::now();
+    for (int r = 0; r < reps; ++r) {
+        ir::Kernel kernel = w.kernel.clone();
+        (void)transform::applyClustering(kernel, params);
+    }
+    record("compiler/cluster-driver", secondsSince(t0),
+           static_cast<std::uint64_t>(reps));
 }
-BENCHMARK(BM_Codegen);
+
+void
+benchParallelScaling()
+{
+    workloads::SizeParams size;
+    size.scale = 1;
+    // Four independent uniprocessor base sims, serial vs pooled.
+    std::vector<workloads::Workload> loads;
+    for (int i = 0; i < 4; ++i)
+        loads.push_back(workloads::makeOcean(size));
+    auto tasks_for = [&loads] {
+        std::vector<std::function<void()>> tasks;
+        for (const auto &w : loads)
+            tasks.push_back([&w] {
+                harness::RunSpec spec;
+                (void)harness::runWorkload(w, spec);
+            });
+        return tasks;
+    };
+
+    auto t0 = clock_type::now();
+    harness::ParallelRunner(1).run(tasks_for());
+    const double serial = secondsSince(t0);
+    record("parallel/4xocean-1thread", serial, loads.size());
+
+    const int threads = harness::ParallelRunner::defaultThreads();
+    t0 = clock_type::now();
+    harness::ParallelRunner(threads).run(tasks_for());
+    const double pooled = secondsSince(t0);
+    record("parallel/4xocean-pool", pooled, loads.size());
+    std::printf("  pool threads: %d, speedup: %.2fx\n", threads,
+                pooled > 0.0 ? serial / pooled : 0.0);
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    std::printf("=== P1: simulator substrate performance%s ===\n",
+                smoke ? " (smoke)" : "");
+    std::printf("%-26s %9s  %18s  %14s\n", "experiment", "wall",
+                "items (cycles/evts)", "rate");
+
+    benchEventQueues(smoke ? 200000 : 2000000);
+    benchInterpreter(smoke ? 10000 : 100000);
+    benchSimulator(smoke ? 2000 : 20000, true, "sim/stream-skip");
+    benchSimulator(smoke ? 2000 : 20000, false, "sim/stream-reference");
+    benchOceanRun(true, "sim/ocean-skip");
+    benchOceanRun(false, "sim/ocean-reference");
+    benchCompiler(smoke ? 3 : 20);
+    benchParallelScaling();
+
+    bench::writeBenchJson("substrate", g_runs,
+                          harness::ParallelRunner::defaultThreads(), 0.0);
+    std::printf("wrote BENCH_substrate.json\n");
+    return 0;
+}

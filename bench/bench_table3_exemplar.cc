@@ -18,24 +18,26 @@ main()
     const auto config = sys::exemplarConfig();
 
     std::fprintf(stderr, "multiprocessor runs...\n");
-    auto [multi_names, multi] =
+    const auto multi =
         bench::runApps(bench::allAppNames(), config, true, size);
     std::fprintf(stderr, "uniprocessor runs...\n");
-    auto [names, uni] =
+    const auto uni =
         bench::runApps(bench::allAppNames(), config, false, size);
 
     std::printf("%s\n",
                 harness::formatReductionTable(
-                    multi_names, multi, "multiprocessor",
+                    multi.names, multi.pairs, "multiprocessor",
                     "E4 / Table 3 (multiprocessor, Exemplar-like): "
                     "% execution time reduced")
                     .c_str());
     std::printf("%s\n",
                 harness::formatReductionTable(
-                    names, uni, "uniprocessor",
+                    uni.names, uni.pairs, "uniprocessor",
                     "E4 / Table 3 (uniprocessor, Exemplar-like): "
                     "% execution time reduced "
                     "(paper: 9-38% for 6 of 7 apps)")
                     .c_str());
+    bench::reportTimings("table3_exemplar_multi", multi);
+    bench::reportTimings("table3_exemplar_uni", uni);
     return 0;
 }

@@ -32,10 +32,107 @@ void
 Core::tick()
 {
     const Tick now = eq_.now();
+    if (lastTick_ != maxTick && now > lastTick_ + 1 && !haltRetired_) {
+        // Skip-ahead catch-up: reference mode would have ticked through
+        // the quiescent cycles, retiring nothing and charging the full
+        // retire width to the stall category of the (unchanged) window
+        // head each cycle. Batch-charge the identical amount.
+        const Tick skipped = now - lastTick_ - 1;
+        attributeStall(sleepCat_,
+                       skipped * static_cast<Tick>(cfg_.retireWidth));
+    }
+    lastTick_ = now;
     doRetire(now);
     doIssue(now);
     doDispatch(now);
     drainWriteBuffer(now);
+    if (quiescence_)
+        nextWake_ = computeNextWake(now);
+}
+
+Tick
+Core::computeNextWake(Tick now)
+{
+    // Stall category reference mode's doRetire would charge while this
+    // core sleeps: recomputed from post-tick state, which is exactly the
+    // state reference mode would see at the start of each skipped cycle.
+    sleepCat_ = StallCat::Cpu;
+    if (headSeq_ < tailSeq_) {
+        const Entry &head = slot(headSeq_);
+        if (head.isLoad)
+            sleepCat_ = StallCat::DataRead;
+        else if (head.instr->op == Op::Barrier ||
+                 head.instr->op == Op::FlagWait)
+            sleepCat_ = StallCat::Sync;
+    }
+
+    if (done())
+        return maxTick;
+
+    // The write buffer retries rejected stores every cycle (mutating
+    // cache reject counters), so any not-yet-outstanding entry keeps
+    // the core ticking.
+    for (const auto &wb : writeBuffer_)
+        if (!wb.outstanding)
+            return now + 1;
+
+    Tick wake = maxTick;
+
+    if (dispatchBlockedSync_) {
+        const Entry &blocked = slot(blockedSyncSeq_);
+        if (blocked.instr->op == Op::FlagWait)
+            return now + 1;     // polls functional memory every cycle
+        if (blocked.state == EState::Completed)
+            return now + 1;     // barrier released; unblocks next tick
+        // Barrier pending: the release callback calls wakeAt.
+    } else if (!haltDispatched_) {
+        if (now < fetchResumeTick_) {
+            // Mispredict redirect. maxTick = branch not yet issued; its
+            // issue is tracked through the window scan below.
+            if (fetchResumeTick_ != maxTick)
+                wake = std::min(wake, fetchResumeTick_);
+        } else if (tailSeq_ - headSeq_ < window_.size()) {
+            const kisa::Instr &in = program_.code[pc_];
+            const bool branch_gated = kisa::isBranch(in.op) &&
+                                      unresolvedBranches_ >= cfg_.maxBranches;
+            const bool mem_gated = kisa::isMemOp(in.op) &&
+                                   memQueueUsed_ >= cfg_.memQueueSize;
+            if (!branch_gated && !mem_gated)
+                return now + 1; // can dispatch next cycle
+            // Gated: freed by a retire (window scan below), a write-
+            // buffer completion, or a branch-resolution event (both
+            // call wakeAt).
+        }
+        // Window full: unblocked by a retire, tracked below.
+    }
+
+    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+        const Entry &e = slot(seq);
+        switch (e.state) {
+          case EState::WaitOperands:
+            // Issuable but blocked on issue width or a busy unit.
+            if (producerDone(e.prodA, now) && producerDone(e.prodB, now))
+                return now + 1;
+            // Producers are window entries themselves and are covered
+            // by their own cases in this scan.
+            break;
+          case EState::WaitAgen:
+            wake = std::min(wake, std::max(e.readyTick, now + 1));
+            break;
+          case EState::WaitCache:
+            return now + 1;     // cache retry mutates reject counters
+          case EState::Completed:
+            if (e.completeTick > now)
+                wake = std::min(wake, e.completeTick);
+            else if (seq == headSeq_)
+                return now + 1; // retire width exhausted this cycle
+            break;
+          case EState::Outstanding:
+          case EState::WaitSync:
+            break;              // completion callbacks call wakeAt
+        }
+    }
+    return std::max(wake, now + 1);
 }
 
 bool
@@ -172,9 +269,9 @@ Core::doRetire(Tick now)
 }
 
 void
-Core::attributeStall(StallCat cat, int slots)
+Core::attributeStall(StallCat cat, std::uint64_t slots)
 {
-    const auto s = static_cast<std::uint64_t>(slots);
+    const auto s = slots;
     switch (cat) {
       case StallCat::Busy:
         stats_.busySlots += s;
@@ -201,6 +298,7 @@ Core::tryLoadAccess(std::uint64_t seq, Tick now)
     Entry &e = slot(seq);
     const auto status = hier_.load(
         e.memAddr, e.instr->refId, [this, seq](Tick t) {
+            wakeAt(t);
             Entry &entry = slot(seq);
             entry.state = EState::Completed;
             entry.completeTick = t;
@@ -251,7 +349,10 @@ Core::doIssue(Tick now)
                 e.state = EState::Completed;
                 e.completeTick = done;
                 if (kisa::isBranch(in.op)) {
-                    eq_.schedule(done, [this] { --unresolvedBranches_; });
+                    eq_.schedule(done, [this] {
+                        --unresolvedBranches_;
+                        wakeAt(eq_.now());  // may unblock dispatch
+                    });
                     if (e.mispredicted)
                         fetchResumeTick_ = done + cfg_.mispredictPenalty;
                 }
@@ -360,6 +461,7 @@ Core::doDispatch(Tick now)
             dispatchBlockedSync_ = true;
             blockedSyncSeq_ = seq;
             sync_->arrive(id_, [this, seq] {
+                wakeAt(eq_.now());
                 Entry &entry = slot(seq);
                 entry.state = EState::Completed;
                 entry.completeTick = eq_.now();
@@ -423,7 +525,8 @@ Core::drainWriteBuffer(Tick now)
             continue;
         const std::uint64_t id = wb.id;
         const auto status =
-            hier_.store(wb.addr, wb.refId, [this, id](Tick) {
+            hier_.store(wb.addr, wb.refId, [this, id](Tick t) {
+                wakeAt(t);  // frees a memory-queue slot
                 for (auto it = writeBuffer_.begin();
                      it != writeBuffer_.end(); ++it) {
                     if (it->id == id) {

@@ -90,6 +90,24 @@ class Core
     /** Advance one cycle at the event queue's current time. */
     void tick();
 
+    /**
+     * Quiescence protocol: the earliest cycle at which ticking this
+     * core can change any state (its own, the caches', or the stats).
+     * System::run fast-forwards to min(next event, next core wake)
+     * instead of ticking every core every cycle; a sleeping core
+     * catches up its per-cycle stall attribution on its next tick, so
+     * results are bit-identical to the reference cycle-step mode.
+     * maxTick means "woken only by an event or sync callback".
+     */
+    Tick nextWake() const { return nextWake_; }
+
+    /**
+     * Reference cycle-step mode ticks every core every cycle, so the
+     * wake computation is pure overhead there; System disables it when
+     * skipAhead is off (nextWake_ stays 0 = always runnable).
+     */
+    void enableQuiescence(bool on) { quiescence_ = on; }
+
     /** True once Halt retired and all buffered stores drained. */
     bool done() const;
 
@@ -154,8 +172,24 @@ class Core
      *  @return completion tick, or maxTick if no unit is free. */
     Tick tryFunctionalUnit(kisa::OpClass cls, Tick now);
 
-    /** Attribute the non-busy remainder of a cycle. */
-    void attributeStall(StallCat cat, int slots);
+    /** Attribute the non-busy remainder of a cycle (or of a batch of
+     *  skipped stall cycles). */
+    void attributeStall(StallCat cat, std::uint64_t slots);
+
+    /**
+     * Compute the earliest cycle after @p now at which a tick could
+     * change state, from post-tick state (see nextWake). Also records
+     * the stall category reference mode would charge while we sleep.
+     */
+    Tick computeNextWake(Tick now);
+
+    /** Completion callbacks pull the wake tick forward to @p t. */
+    void
+    wakeAt(Tick t)
+    {
+        if (t < nextWake_)
+            nextWake_ = t;
+    }
 
     /** Launch a load into the memory hierarchy. */
     bool tryLoadAccess(std::uint64_t seq, Tick now);
@@ -209,6 +243,13 @@ class Core
 
     bool haltRetired_ = false;
     CoreStats stats_;
+
+    // Quiescence bookkeeping (see nextWake).
+    bool quiescence_ = true;        ///< compute wakes at all?
+    Tick nextWake_ = 0;             ///< earliest useful tick
+    Tick lastTick_ = maxTick;       ///< cycle of the last tick (sentinel:
+                                    ///< never ticked)
+    StallCat sleepCat_ = StallCat::Cpu; ///< stall charged while asleep
 };
 
 } // namespace mpc::cpu

@@ -1,0 +1,123 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace mpc::harness
+{
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+}
+
+int
+ParallelRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("MPC_JOBS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+ParallelRunner::run(const std::vector<std::function<void()>> &jobs) const
+{
+    if (jobs.empty())
+        return;
+    const int workers =
+        std::min<int>(threads_, static_cast<int>(jobs.size()));
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::atomic<bool> failed{false};
+
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            try {
+                jobs[i]();
+            } catch (...) {
+                // Record the first failure; later jobs still run so
+                // every result slot settles before we rethrow.
+                if (!failed.exchange(true))
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        drain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            pool.emplace_back(drain);
+        for (auto &th : pool)
+            th.join();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+TimedWorkloadRun
+runWorkloadTimed(const workloads::Workload &workload, const RunSpec &spec)
+{
+    using clock = std::chrono::steady_clock;
+    TimedWorkloadRun out;
+    const auto t0 = clock::now();
+    out.run = runWorkload(workload, spec);
+    const auto t1 = clock::now();
+    out.timing.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.timing.cyclesPerSec =
+        out.timing.wallSeconds > 0.0
+            ? static_cast<double>(out.run.result.cycles) /
+                  out.timing.wallSeconds
+            : 0.0;
+    return out;
+}
+
+std::vector<TimedPairResult>
+runPairsParallel(const std::vector<PairJob> &jobs, int threads)
+{
+    std::vector<TimedPairResult> results(jobs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size() * 2);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // Base and clustered runs of one pair are independent sims; the
+        // workload is only read (kernel.clone() per run), so the two
+        // tasks may share it.
+        tasks.push_back([&jobs, &results, i] {
+            const PairJob &job = jobs[i];
+            RunSpec spec;
+            spec.config = job.config;
+            spec.procs = job.procs;
+            spec.clustered = false;
+            auto timed = runWorkloadTimed(job.workload, spec);
+            results[i].pair.base = std::move(timed.run);
+            results[i].baseTiming = timed.timing;
+        });
+        tasks.push_back([&jobs, &results, i] {
+            const PairJob &job = jobs[i];
+            RunSpec spec;
+            spec.config = job.config;
+            spec.procs = job.procs;
+            spec.clustered = true;
+            auto timed = runWorkloadTimed(job.workload, spec);
+            results[i].pair.clust = std::move(timed.run);
+            results[i].clustTiming = timed.timing;
+        });
+    }
+    ParallelRunner(threads).run(tasks);
+    return results;
+}
+
+} // namespace mpc::harness

@@ -44,6 +44,14 @@ struct SystemConfig
     /** Exemplar-like SMP: shared bus transport instead of the mesh. */
     bool smpBus = false;
     noc::SharedBusConfig smp;
+
+    /**
+     * Fast-forward simulated time to min(next event, next core wake)
+     * instead of ticking every core every cycle. Results are
+     * bit-identical either way (tests/test_fastpath.cc asserts it);
+     * false selects the reference cycle-step mode.
+     */
+    bool skipAhead = true;
 };
 
 /**

@@ -85,6 +85,7 @@ System::System(const SystemConfig &cfg,
         cores_.push_back(std::make_unique<cpu::Core>(
             i, eq_, cfg_.core, programs_[static_cast<size_t>(i)], image_,
             *hiers_.back(), sync_.get()));
+        cores_.back()->enableQuiescence(cfg_.skipAhead);
     }
 }
 
@@ -92,6 +93,7 @@ RunResult
 System::run(Tick max_cycles)
 {
     const int n = numCores();
+    const bool skip = cfg_.skipAhead;
     Tick cycle = eq_.now();
     for (;;) {
         bool all_done = true;
@@ -108,9 +110,27 @@ System::run(Tick max_cycles)
                   "runaway kernel?",
                   static_cast<unsigned long long>(max_cycles));
         eq_.advanceTo(cycle);
-        for (auto &core : cores_)
-            core->tick();
-        ++cycle;
+        if (skip) {
+            // Quiescence skip-ahead: tick only cores with useful work.
+            // Wakes are re-read per core, in core order, because a tick
+            // (e.g. the last barrier arrival) can wake later cores
+            // within the same cycle — exactly as in reference mode.
+            for (auto &core : cores_)
+                if (core->nextWake() <= cycle)
+                    core->tick();
+            Tick next = eq_.nextEventTick();
+            for (auto &core : cores_)
+                if (!core->done())
+                    next = std::min(next, core->nextWake());
+            // next == maxTick with cores unfinished is a deadlock;
+            // jump to the guard above, as reference mode would spin to.
+            cycle = next == maxTick ? max_cycles
+                                    : std::max(cycle + 1, next);
+        } else {
+            for (auto &core : cores_)
+                core->tick();
+            ++cycle;
+        }
     }
 
     // Collect results.

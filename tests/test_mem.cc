@@ -5,8 +5,12 @@
  * bank interleaving, and the two-level hierarchy.
  */
 
+#include <array>
+#include <memory>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "mem/cache.hh"
 #include "mem/eventq.hh"
 #include "mem/hierarchy.hh"
@@ -48,6 +52,134 @@ TEST(EventQueue, AdvancePartial)
     EXPECT_EQ(fired, 0);
     eq.advanceTo(100);
     EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SameTickFifoProperty)
+{
+    // Property: any mix of delays lands in (when, scheduling-order)
+    // sequence, including bursts on one tick and events crossing the
+    // calendar-wheel horizon into the far-future heap.
+    Rng rng(0xf1f0);
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<Tick> when_of;      // indexed by id, in schedule order
+    for (int round = 0; round < 50; ++round) {
+        const Tick base = eq.now();
+        const int burst = 1 + static_cast<int>(rng.below(8));
+        for (int i = 0; i < burst; ++i) {
+            // Mix near (wheel) and far (heap) delays, with repeats.
+            const Tick delta = rng.below(2) != 0 ? rng.below(12)
+                                                 : 200 + rng.below(400);
+            const int id = static_cast<int>(when_of.size());
+            when_of.push_back(base + delta);
+            eq.schedule(base + delta, [&order, id] {
+                order.push_back(id);
+            });
+        }
+        eq.advanceTo(base + rng.below(64)); // partial drains interleave
+    }
+    eq.advanceTo(eq.now() + 1000);
+
+    // Every event fires exactly once, in (when, scheduling-order)
+    // sequence: events fire at their tick and time is monotonic, so
+    // the observed (when, id) pairs must be strictly increasing.
+    ASSERT_EQ(order.size(), when_of.size());
+    std::vector<bool> seen(when_of.size(), false);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const auto id = static_cast<std::size_t>(order[k]);
+        ASSERT_FALSE(seen[id]);
+        seen[id] = true;
+        if (k > 0) {
+            const auto prev = static_cast<std::size_t>(order[k - 1]);
+            EXPECT_TRUE(when_of[prev] < when_of[id] ||
+                        (when_of[prev] == when_of[id] && prev < id))
+                << "event " << id << " fired out of order after "
+                << prev;
+        }
+    }
+}
+
+TEST(EventQueue, WheelMatchesHeapOracleSweep)
+{
+    // Drive the calendar-wheel queue and the retained heap queue with
+    // an identical randomized schedule (bursts, same-tick repeats,
+    // horizon-crossing delays, events scheduling events) and require
+    // the exact same execution order at every advance boundary.
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadull, 0xbeefull}) {
+        Rng plan_a(seed), plan_b(seed);
+        EventQueue wheel;
+        HeapEventQueue heap;
+        std::vector<int> order_a, order_b;
+
+        auto drive = [](auto &q, Rng &rng, std::vector<int> &order) {
+            int id = 0;
+            for (int round = 0; round < 40; ++round) {
+                const Tick base = q.now();
+                const int burst = 1 + static_cast<int>(rng.below(6));
+                for (int i = 0; i < burst; ++i) {
+                    const Tick delta = rng.below(3) != 0
+                                           ? rng.below(10)
+                                           : 250 + rng.below(300);
+                    const int chained = id++;
+                    // Half the events reschedule a child, exercising
+                    // schedule-during-run on both paths.
+                    if (rng.below(2) != 0) {
+                        const int child = id++;
+                        q.schedule(base + delta,
+                                   [&q, &order, chained, child] {
+                                       order.push_back(chained);
+                                       q.scheduleIn(5, [&order, child] {
+                                           order.push_back(child);
+                                       });
+                                   });
+                    } else {
+                        q.schedule(base + delta, [&order, chained] {
+                            order.push_back(chained);
+                        });
+                    }
+                }
+                q.advanceTo(base + rng.below(80));
+            }
+            q.advanceTo(q.now() + 2000);
+        };
+
+        drive(wheel, plan_a, order_a);
+        drive(heap, plan_b, order_b);
+        EXPECT_EQ(order_a, order_b) << "seed " << seed;
+        EXPECT_EQ(wheel.now(), heap.now()) << "seed " << seed;
+        EXPECT_TRUE(wheel.empty());
+        EXPECT_TRUE(heap.empty());
+    }
+}
+
+TEST(EventQueue, OversizedCallableBoxed)
+{
+    // Captures beyond the inline buffer take the boxed std::function
+    // path; order and execution must be unaffected.
+    EventQueue eq;
+    std::array<std::uint64_t, 12> big{};   // 96 bytes > inline buffer
+    big[0] = 7;
+    big[11] = 11;
+    std::vector<std::uint64_t> got;
+    eq.schedule(3, [&got] { got.push_back(1); });
+    eq.schedule(3, [big, &got] { got.push_back(big[0] + big[11]); });
+    eq.schedule(3, [&got] { got.push_back(2); });
+    eq.advanceTo(3);
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 18, 2}));
+}
+
+TEST(EventQueue, PendingEventsDestroyedOnTeardown)
+{
+    auto marker = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = marker;
+    {
+        EventQueue eq;
+        eq.schedule(5, [marker] { (void)*marker; });
+        eq.schedule(1000, [marker] { (void)*marker; });  // far heap
+        marker.reset();
+        EXPECT_FALSE(watch.expired());  // owned by pending events
+    }
+    EXPECT_TRUE(watch.expired());  // destructor released both
 }
 
 TEST(TimelineResource, SerializesOverlapping)
