@@ -2,7 +2,9 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "analysis/affine.hh"
@@ -22,6 +24,34 @@ using kisa::Reg;
 
 namespace
 {
+
+/**
+ * Decompose @p v into (1 << hi) + (1 << lo) or, with the bool set,
+ * (1 << hi) - (1 << lo), so constant multiplies by such values (array
+ * pitches with one line of padding, say) lower to two shifts and one
+ * add/sub of single-cycle ALU ops instead of a multi-cycle multiply.
+ */
+std::optional<std::tuple<std::int64_t, std::int64_t, bool>>
+shiftPairSplit(std::uint64_t v)
+{
+    if (v < 3)
+        return std::nullopt;
+    // Sum of two powers of two: exactly two bits set.
+    if ((v & (v - 1)) != 0 &&
+        ((v & (v - 1)) & ((v & (v - 1)) - 1)) == 0) {
+        const std::int64_t lo = log2Floor(v & ~(v - 1));
+        const std::int64_t hi = log2Floor(v);
+        return std::make_tuple(hi, lo, false);
+    }
+    // Difference of two powers of two: v + lowbit(v) a power of two.
+    const std::uint64_t low_bit = v & ~(v - 1);
+    if (isPowerOf2(v + low_bit)) {
+        const std::int64_t hi = log2Floor(v + low_bit);
+        const std::int64_t lo = log2Floor(low_bit);
+        return std::make_tuple(hi, lo, true);
+    }
+    return std::nullopt;
+}
 
 /**
  * Alias information for a memory instruction, used by the scheduler's
@@ -509,21 +539,52 @@ class Lowerer
         for (size_t d = 0; d < ref.children.size(); ++d) {
             auto [part, c] = splitConst(*ref.children[d]);
             const std::int64_t dim = array.dims[d];
-            // Scale the accumulator by this dimension.
+            // Scale the accumulator by this dimension. Constants of
+            // the form 2^a +/- 2^b (e.g. padded row pitches) are
+            // strength-reduced to two shifts and an add/sub of 1-cycle
+            // ALU ops instead of a multi-cycle multiply.
             if (index.reg != kisa::noReg && d > 0) {
                 const Reg scaled = index.isTemp ? index.reg
                                                 : allocTempInt();
-                Instr sc;
+                const auto two_term = shiftPairSplit(
+                    static_cast<std::uint64_t>(dim));
                 if (isPowerOf2(static_cast<std::uint64_t>(dim))) {
+                    Instr sc;
                     sc.op = Op::IShlImm;
                     sc.imm = log2Floor(static_cast<std::uint64_t>(dim));
+                    sc.rd = scaled;
+                    sc.ra = index.reg;
+                    emit(sc);
+                } else if (two_term) {
+                    const auto [hi_sh, lo_sh, negate] = *two_term;
+                    const Reg hi = allocTempInt();
+                    Instr sh;
+                    sh.op = Op::IShlImm;
+                    sh.rd = hi;
+                    sh.ra = index.reg;
+                    sh.imm = hi_sh;
+                    emit(sh);
+                    Instr sl;
+                    sl.op = Op::IShlImm;
+                    sl.rd = scaled;
+                    sl.ra = index.reg;
+                    sl.imm = lo_sh;
+                    emit(sl);
+                    Instr comb;
+                    comb.op = negate ? Op::ISub : Op::IAdd;
+                    comb.rd = scaled;
+                    comb.ra = hi;
+                    comb.rb = scaled;
+                    emit(comb);
+                    intFree_.push_back(hi);
                 } else {
+                    Instr sc;
                     sc.op = Op::IMulImm;
                     sc.imm = dim;
+                    sc.rd = scaled;
+                    sc.ra = index.reg;
+                    emit(sc);
                 }
-                sc.rd = scaled;
-                sc.ra = index.reg;
-                emit(sc);
                 index.reg = scaled;
                 index.isTemp = true;
             }

@@ -123,6 +123,39 @@ class CoherenceFabric
 
     const FabricStats &stats() const { return stats_; }
 
+    /**
+     * Iterate directory entries: fn(lineAddr, state, sharers, owner)
+     * with state as int (0=Uncached, 1=Shared, 2=Modified). Read-only;
+     * used by the validation layer's protocol-invariant audit.
+     */
+    template <typename Fn>
+    void
+    forEachDirEntry(Fn &&fn) const
+    {
+        for (const auto &[addr, e] : directory_)
+            fn(addr, static_cast<int>(e.state), e.sharers, e.owner);
+    }
+
+    /** Node @p n's attached L2 (null before attachCache). */
+    const mem::Cache *
+    cacheAt(NodeId n) const
+    {
+        return caches_[static_cast<size_t>(n)];
+    }
+
+    int numNodes() const { return numNodes_; }
+    int lineBytes() const { return cfg_.lineBytes; }
+
+    /** Fault injection for validation tests: set node @p n's sharer bit
+     *  on @p line_addr's entry without touching the entry state or any
+     *  cache. On an Uncached or Modified entry this breaks a structural
+     *  invariant the directory audit must flag. */
+    void
+    corruptSharerForTest(Addr line_addr, NodeId n)
+    {
+        entry(line_addr).sharers |= std::uint64_t(1) << n;
+    }
+
   private:
     enum class DirState : std::uint8_t { Uncached, Shared, Modified };
 

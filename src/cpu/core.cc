@@ -32,6 +32,11 @@ void
 Core::tick()
 {
     const Tick now = eq_.now();
+    if (now >= faultTick_) {
+        // Validation-test fault injection (see injectRegisterFaultAt).
+        regs_.intRegs[faultReg_] ^= 1;
+        faultTick_ = maxTick;
+    }
     if (lastTick_ != maxTick && now > lastTick_ + 1 && !haltRetired_) {
         // Skip-ahead catch-up: reference mode would have ticked through
         // the quiescent cycles, retiring nothing and charging the full
@@ -238,6 +243,8 @@ Core::doRetire(Tick now)
             haltRetired_ = true;
             stats_.doneTick = now;
         }
+        if (monitor_)
+            monitor_->onRetire(now, e.pc, headSeq_);
         ++headSeq_;
         ++retired;
         ++stats_.retired;
@@ -409,6 +416,8 @@ Core::doDispatch(Tick now)
                 // Condition satisfied: architecturally execute it now.
                 auto res = kisa::step(program_, blocked.pc, regs_, mem_);
                 MPC_ASSERT(!res.syncBlocked, "flag re-check failed");
+                if (monitor_)
+                    monitor_->onDispatch(now, blocked.pc, res, regs_);
                 pc_ = res.nextPc;
                 blocked.state = EState::Completed;
                 blocked.completeTick = now;
@@ -456,6 +465,8 @@ Core::doDispatch(Tick now)
         if (in.op == Op::Barrier) {
             MPC_ASSERT(sync_ != nullptr, "Barrier with no SyncDevice");
             auto res = kisa::step(program_, pc_, regs_, mem_);
+            if (monitor_)
+                monitor_->onDispatch(now, e.pc, res, regs_);
             pc_ = res.nextPc;
             e.state = EState::WaitSync;
             dispatchBlockedSync_ = true;
@@ -474,6 +485,8 @@ Core::doDispatch(Tick now)
         // Ordinary instruction: functionally execute at dispatch.
         auto res = kisa::step(program_, pc_, regs_, mem_);
         const int branch_pc = pc_;
+        if (monitor_)
+            monitor_->onDispatch(now, branch_pc, res, regs_);
         pc_ = res.nextPc;
 
         if (res.isMem) {
@@ -511,6 +524,42 @@ Core::doDispatch(Tick now)
                 intWriter_[in.rd] = seq + 1;
         }
     }
+}
+
+std::string
+Core::dumpWindow() const
+{
+    static const char *const state_names[] = {
+        "WaitOperands", "WaitAgen", "WaitCache",
+        "Outstanding",  "WaitSync", "Completed",
+    };
+    std::string out = strprintf(
+        "core %d: pc=%d window=%llu..%llu wb=%zu memq=%d%s%s%s\n", id_,
+        pc_, static_cast<unsigned long long>(headSeq_),
+        static_cast<unsigned long long>(tailSeq_), writeBuffer_.size(),
+        memQueueUsed_, dispatchBlockedSync_ ? " sync-blocked" : "",
+        haltDispatched_ ? " halt-dispatched" : "",
+        haltRetired_ ? " halt-retired" : "");
+    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+        const Entry &e = slot(seq);
+        out += strprintf(
+            "  [%llu] pc=%-4d %-8s %-12s complete=%lld",
+            static_cast<unsigned long long>(seq), e.pc,
+            kisa::opName(e.instr->op),
+            state_names[static_cast<int>(e.state)],
+            e.completeTick == maxTick
+                ? -1LL
+                : static_cast<long long>(e.completeTick));
+        if (e.memAddr != invalidAddr)
+            out += strprintf(" addr=0x%llx%s",
+                             static_cast<unsigned long long>(e.memAddr),
+                             e.isLoad      ? " load"
+                             : e.isStore   ? " store"
+                             : e.isPrefetch ? " prefetch"
+                                            : "");
+        out += "\n";
+    }
+    return out;
 }
 
 void

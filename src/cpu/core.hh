@@ -25,11 +25,13 @@
 #define MPC_CPU_CORE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/config.hh"
+#include "cpu/monitor.hh"
 #include "cpu/predictor.hh"
 #include "cpu/sync.hh"
 #include "kisa/interp.hh"
@@ -116,6 +118,25 @@ class Core
 
     /** Architectural registers (for post-run result checks). */
     const kisa::RegFile &regs() const { return regs_; }
+
+    /** Attach a validation observer (not owned; null detaches). */
+    void attachMonitor(CoreMonitor *monitor) { monitor_ = monitor; }
+
+    /**
+     * Fault injection for validation tests: at the first tick at or
+     * after @p when, flip the low bit of integer register @p reg. The
+     * golden lockstep checker must flag the divergence on the next
+     * instruction that reads or overwrites the register.
+     */
+    void
+    injectRegisterFaultAt(Tick when, std::uint16_t reg)
+    {
+        faultTick_ = when;
+        faultReg_ = reg;
+    }
+
+    /** Dump the in-flight window (one entry per line) for diagnostics. */
+    std::string dumpWindow() const;
 
     /** Instruction-window occupancy (for tests). */
     int windowOccupancy() const
@@ -243,6 +264,10 @@ class Core
 
     bool haltRetired_ = false;
     CoreStats stats_;
+
+    CoreMonitor *monitor_ = nullptr;
+    Tick faultTick_ = maxTick;      ///< pending injected fault (tests)
+    std::uint16_t faultReg_ = 0;
 
     // Quiescence bookkeeping (see nextWake).
     bool quiescence_ = true;        ///< compute wakes at all?

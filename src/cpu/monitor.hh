@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Observation interface for the out-of-order core, consumed by the
+ * validation layer (src/validate). The core invokes the hooks behind a
+ * null check, so an unattached monitor costs one predictable branch per
+ * dispatch/retire and nothing else; the interface lives here (not in
+ * src/validate) so cpu does not depend on the validation library.
+ */
+
+#ifndef MPC_CPU_MONITOR_HH
+#define MPC_CPU_MONITOR_HH
+
+#include "common/types.hh"
+#include "kisa/interp.hh"
+
+namespace mpc::cpu
+{
+
+/**
+ * Callbacks from one core's pipeline. Because the core executes
+ * functionally at dispatch (see core.hh), architectural values exist at
+ * dispatch time; onDispatch fires immediately *after* the core's own
+ * kisa::step so a golden model can re-step the same instruction against
+ * the same memory state and compare. onRetire fires once per retired
+ * window entry, in order.
+ */
+class CoreMonitor
+{
+  public:
+    virtual ~CoreMonitor() = default;
+
+    /**
+     * The core architecturally executed program.code[pc].
+     * @param res  The core's own step result.
+     * @param regs The core's architectural registers, post-step.
+     */
+    virtual void onDispatch(Tick now, int pc, const kisa::StepResult &res,
+                            const kisa::RegFile &regs) = 0;
+
+    /** Window entry for program.code[pc] retired (in program order). */
+    virtual void onRetire(Tick now, int pc, std::uint64_t seq) = 0;
+};
+
+} // namespace mpc::cpu
+
+#endif // MPC_CPU_MONITOR_HH

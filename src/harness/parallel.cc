@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace mpc::harness
@@ -27,7 +29,8 @@ ParallelRunner::defaultThreads()
 }
 
 void
-ParallelRunner::run(const std::vector<std::function<void()>> &jobs) const
+ParallelRunner::run(const std::vector<std::function<void()>> &jobs,
+                    const std::vector<std::string> &labels) const
 {
     if (jobs.empty())
         return;
@@ -35,7 +38,9 @@ ParallelRunner::run(const std::vector<std::function<void()>> &jobs) const
         std::min<int>(threads_, static_cast<int>(jobs.size()));
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
+    std::size_t first_index = 0;
     std::atomic<bool> failed{false};
+    std::atomic<int> failures{0};
 
     auto drain = [&] {
         for (;;) {
@@ -47,8 +52,11 @@ ParallelRunner::run(const std::vector<std::function<void()>> &jobs) const
             } catch (...) {
                 // Record the first failure; later jobs still run so
                 // every result slot settles before we rethrow.
-                if (!failed.exchange(true))
+                ++failures;
+                if (!failed.exchange(true)) {
                     first_error = std::current_exception();
+                    first_index = i;
+                }
             }
         }
     };
@@ -63,8 +71,21 @@ ParallelRunner::run(const std::vector<std::function<void()>> &jobs) const
         for (auto &th : pool)
             th.join();
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (first_error) {
+        std::string who = "parallel job " + std::to_string(first_index);
+        if (first_index < labels.size() && !labels[first_index].empty())
+            who += " (" + labels[first_index] + ")";
+        try {
+            std::rethrow_exception(first_error);
+        } catch (const std::exception &e) {
+            throw std::runtime_error(
+                who + " failed: " + e.what() + " [" +
+                std::to_string(failures.load()) + " of " +
+                std::to_string(jobs.size()) + " jobs failed]");
+        }
+        // Exceptions not derived from std::exception propagate
+        // unwrapped from the rethrow above.
+    }
 }
 
 TimedWorkloadRun
@@ -90,8 +111,12 @@ runPairsParallel(const std::vector<PairJob> &jobs, int threads)
 {
     std::vector<TimedPairResult> results(jobs.size());
     std::vector<std::function<void()>> tasks;
+    std::vector<std::string> labels;
     tasks.reserve(jobs.size() * 2);
+    labels.reserve(jobs.size() * 2);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
+        labels.push_back(jobs[i].label + "/base");
+        labels.push_back(jobs[i].label + "/clust");
         // Base and clustered runs of one pair are independent sims; the
         // workload is only read (kernel.clone() per run), so the two
         // tasks may share it.
@@ -116,7 +141,7 @@ runPairsParallel(const std::vector<PairJob> &jobs, int threads)
             results[i].clustTiming = timed.timing;
         });
     }
-    ParallelRunner(threads).run(tasks);
+    ParallelRunner(threads).run(tasks, labels);
     return results;
 }
 

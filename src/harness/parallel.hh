@@ -47,9 +47,15 @@ class ParallelRunner
     /**
      * Run every job to completion. Jobs must be independent: they may
      * not touch shared mutable state (each writes only its own result
-     * slot). Exceptions propagate to the caller after all jobs finish.
+     * slot). Exceptions propagate to the caller after all jobs finish:
+     * every non-throwing job's result slot settles, and the first
+     * failure is rethrown as a std::runtime_error naming the job's
+     * index (and label, when @p labels provides one) plus the total
+     * failure count. Exceptions not derived from std::exception
+     * propagate unwrapped.
      */
-    void run(const std::vector<std::function<void()>> &jobs) const;
+    void run(const std::vector<std::function<void()>> &jobs,
+             const std::vector<std::string> &labels = {}) const;
 
   private:
     int threads_;

@@ -44,6 +44,22 @@ class TagCache
         return false;
     }
 
+    /** Drop @p addr's line if present (remote write invalidation). */
+    void
+    invalidate(Addr addr)
+    {
+        const Addr line = alignDown(addr, lineBytes_);
+        const size_t set = (line / lineBytes_) % numSets_;
+        const size_t base = set * static_cast<size_t>(assoc_);
+        for (size_t w = base; w < base + static_cast<size_t>(assoc_);
+             ++w) {
+            if (sets_[w] == line) {
+                sets_[w] = invalidAddr;
+                lru_[w] = 0;
+            }
+        }
+    }
+
   private:
     Addr lineBytes_;
     std::uint64_t numSets_;
@@ -67,6 +83,34 @@ CacheProfile::measure(const kisa::Program &program,
     interp.setMemHook([&](int, const kisa::Instr &instr, Addr addr,
                           bool) {
         const bool hit = cache.access(addr);
+        if (instr.refId == 0xffffffff)
+            return;
+        auto &counts = profile.counts_[static_cast<int>(instr.refId)];
+        ++counts.accesses;
+        counts.misses += !hit;
+    });
+    interp.run(1ull << 31);
+    return profile;
+}
+
+CacheProfile
+CacheProfile::measureMulti(const std::vector<kisa::Program> &programs,
+                           kisa::MemoryImage &scratch,
+                           const mem::CacheConfig &geometry)
+{
+    CacheProfile profile;
+    std::vector<TagCache> caches(programs.size(), TagCache(geometry));
+    kisa::Interpreter interp(scratch);
+    for (const auto &program : programs)
+        interp.addCore(program);
+    interp.setMemHook([&](int core, const kisa::Instr &instr, Addr addr,
+                          bool is_load) {
+        const bool hit = caches[static_cast<size_t>(core)].access(addr);
+        if (!is_load) {
+            for (size_t c = 0; c < caches.size(); ++c)
+                if (c != static_cast<size_t>(core))
+                    caches[c].invalidate(addr);
+        }
         if (instr.refId == 0xffffffff)
             return;
         auto &counts = profile.counts_[static_cast<int>(instr.refId)];

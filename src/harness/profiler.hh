@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "kisa/interp.hh"
 #include "kisa/program.hh"
@@ -32,6 +33,18 @@ class CacheProfile
     static CacheProfile measure(const kisa::Program &program,
                                 kisa::MemoryImage &scratch,
                                 const mem::CacheConfig &geometry);
+
+    /**
+     * Multiprocessor variant: functionally execute the per-core
+     * @p programs together (barrier/flag semantics intact) with one
+     * tag cache of @p geometry per core and write-invalidate between
+     * them, so communication misses — absent from the sequential
+     * single-cache profile — are measured. Per-refId counts aggregate
+     * across cores.
+     */
+    static CacheProfile measureMulti(
+        const std::vector<kisa::Program> &programs,
+        kisa::MemoryImage &scratch, const mem::CacheConfig &geometry);
 
     /** Measured miss rate of @p ref_id; 1.0 (pessimistic) if unseen. */
     double missRate(int ref_id) const;

@@ -3,6 +3,7 @@
 #include "codegen/codegen.hh"
 #include "transform/transforms.hh"
 #include "common/logging.hh"
+#include <cstdlib>
 #include <set>
 
 #include "harness/profiler.hh"
@@ -19,6 +20,16 @@ scaleConfig(sys::SystemConfig config, const workloads::Workload &workload)
         config.hier.l1.sizeBytes = workload.l2Bytes;
     else
         config.hier.l2.sizeBytes = workload.l2Bytes;
+
+    // Opt-in validation layer (CI runs the integration suite with
+    // MPC_VALIDATE=1); MPC_VALIDATE_TRACE names the Chrome-trace JSON
+    // dumped on a failure.
+    if (const char *env = std::getenv("MPC_VALIDATE");
+        env != nullptr && env[0] == '1') {
+        config.validate = true;
+        if (const char *trace = std::getenv("MPC_VALIDATE_TRACE"))
+            config.validateTracePath = trace;
+    }
     return config;
 }
 
@@ -58,6 +69,25 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
         params.missRate = [profile](int ref_id) {
             return profile.missRate(ref_id);
         };
+        if (spec.procs > 1) {
+            // Run-matched profile: the partitioned per-core programs
+            // through per-core caches with write-invalidation, so the
+            // driver can see when partitioning shrank a stream's
+            // footprint below the cache and its static miss estimate
+            // stopped being realizable (communication misses only).
+            kisa::MemoryImage multi_scratch;
+            workload.init(multi_scratch);
+            const auto per_core =
+                codegen::lowerForCores(kernel, spec.procs, false, {});
+            const CacheProfile realized = CacheProfile::measureMulti(
+                per_core, multi_scratch, geometry);
+            params.realizedMissRate = [realized](int ref_id) {
+                return realized.missRate(ref_id);
+            };
+            params.realizedAccesses = [realized](int ref_id) {
+                return realized.accesses(ref_id);
+            };
+        }
         out.report = transform::applyClustering(kernel, params);
     }
 

@@ -158,6 +158,23 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
             ++stats_.upgrades;
         issueDownstream(id);
     } else {
+        if (exclusive && !mshrs_.exclusive(id) && coherent_ &&
+            mshrs_.issued(id)) {
+            // A write cannot piggyback on a read request that is
+            // already in flight: the directory has only granted Shared
+            // permission, so silently installing Modified on fill would
+            // leave the cache incoherent with the directory. Reject;
+            // the retried write will hit the filled Shared line and
+            // take the regular upgrade path.
+            ++stats_.rejectsMshr;
+            if (kind == Kind::Write)
+                --stats_.writes;
+            else
+                --stats_.loads;
+            if (ref_counts != nullptr)
+                --ref_counts->accesses;
+            return Status::RejectMshr;
+        }
         if (exclusive)
             mshrs_.setExclusive(id);
         if (kind == Kind::Write)
@@ -199,6 +216,7 @@ Cache::handleFill(MshrFile::Id id)
     const Tick now = eq_.now();
     const Addr line_addr = mshrs_.lineAddr(id);
     const bool exclusive = mshrs_.exclusive(id);
+    const bool invalidate_on_fill = mshrs_.invalidateOnFill(id);
     ++stats_.fills;
     stats_.missLatency.sample(
         static_cast<double>(now - mshrs_.allocTick(id)));
@@ -228,6 +246,19 @@ Cache::handleFill(MshrFile::Id id)
                 fn(when);
             });
         }
+    }
+
+    if (invalidate_on_fill) {
+        // A probe raced this fill (see probeInvalidate): the directory
+        // no longer lists this cache, so drop the line now that the
+        // targets have their data. The dirty-data handoff a real
+        // protocol would perform here is not modeled; the new owner
+        // refetches from memory timing-wise.
+        line->valid = false;
+        line->dirty = false;
+        line->state = LineState::Invalid;
+        if (backInvalidate_)
+            backInvalidate_(line_addr);
     }
 }
 
@@ -263,6 +294,14 @@ Cache::installLine(Addr line_addr, LineState state, bool dirty)
 bool
 Cache::probeInvalidate(Addr line_addr)
 {
+    // The line may be in flight (plain miss or upgrade): the directory
+    // acts atomically at request time, so an invalidation can race
+    // ahead of the fill it targets. Mark the MSHR so the fill installs
+    // a dead line (fill-before-invalidation ordering); its targets
+    // still complete normally.
+    const MshrFile::Id id = mshrs_.find(line_addr);
+    if (id != MshrFile::invalidId)
+        mshrs_.markInvalidateOnFill(id);
     Line *line = findLine(line_addr);
     if (line == nullptr)
         return false;

@@ -143,6 +143,26 @@ class Cache
     /** Flush time-weighted stats at end of simulation. */
     void finalizeStats(Tick now) { mshrs_.finalizeStats(now); }
 
+    /** Iterate resident lines: fn(lineAddr, state, dirty). Read-only;
+     *  used by the validation layer's inclusion/coherence audits. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const auto &set : sets_)
+            for (const Line &line : set)
+                if (line.valid)
+                    fn(line.tag, line.state, line.dirty);
+    }
+
+    /** Fault injection for validation tests: allocate an MSHR that will
+     *  never fill or deallocate, so the leak audit must flag it. */
+    void
+    leakMshrForTest(Tick now, Addr line_addr)
+    {
+        mshrs_.markIssued(mshrs_.allocate(now, lineOf(line_addr), false));
+    }
+
   private:
     struct Line
     {

@@ -15,7 +15,7 @@ MemHierarchy::MemHierarchy(EventQueue &eq, const Config &cfg)
     } else {
         l1_ = std::make_unique<Cache>(eq, cfg.l1, false, false);
         l2Cache_ = std::make_unique<Cache>(eq, cfg.l2, cfg.coherent, true);
-        l1Below_ = std::make_unique<L1Below>(*l2Cache_);
+        l1Below_ = std::make_unique<L1Below>(*l1_, *l2Cache_);
         l1_->setDownstream(l1Below_.get());
         // Inclusion: L2 evictions/invalidations purge the L1 copy.
         l2Cache_->setBackInvalidate(

@@ -58,14 +58,24 @@ class MemHierarchy
     class L1Below : public DownstreamPort
     {
       public:
-        explicit L1Below(Cache &l2) : l2_(l2) {}
+        L1Below(Cache &l1, Cache &l2) : l1_(l1), l2_(l2) {}
         bool
         request(Addr line_addr, bool exclusive,
                 std::function<void()> on_fill) override
         {
-            return l2_.lineRequest(line_addr, exclusive,
-                                   std::move(on_fill)) ==
-                   Cache::Status::Ok;
+            // The L2 fill and the L1's delayed install are fillLatency
+            // apart; if the L2 evicts the line in that window, its
+            // back-invalidation finds nothing in the L1 and the L1
+            // would keep a stale copy forever. Re-check inclusion when
+            // the fill surfaces (the completion callbacks have already
+            // been delivered by then).
+            return l2_.lineRequest(
+                       line_addr, exclusive,
+                       [this, line_addr, fn = std::move(on_fill)] {
+                           fn();
+                           if (!l2_.isResident(line_addr))
+                               l1_.backInvalidateLine(line_addr);
+                       }) == Cache::Status::Ok;
         }
         void
         writeback(Addr line_addr) override
@@ -75,6 +85,7 @@ class MemHierarchy
         }
 
       private:
+        Cache &l1_;
         Cache &l2_;
     };
 

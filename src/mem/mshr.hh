@@ -105,6 +105,7 @@ class MshrFile
                 e.exclusive = exclusive;
                 e.hasRead = false;
                 e.issued = false;
+                e.invalidateOnFill = false;
                 e.allocTick = now;
                 e.targets.clear();
                 return static_cast<Id>(i);
@@ -141,6 +142,16 @@ class MshrFile
     void markIssued(Id id) { entry(id).issued = true; }
 
     /**
+     * Late invalidation: a coherence probe raced ahead of this entry's
+     * fill (the directory already dropped this cache from the sharer
+     * list). The fill must still complete its targets, but the line is
+     * installed dead — equivalent to the fill being ordered just before
+     * the invalidation.
+     */
+    bool invalidateOnFill(Id id) const { return entry(id).invalidateOnFill; }
+    void markInvalidateOnFill(Id id) { entry(id).invalidateOnFill = true; }
+
+    /**
      * Free entry @p id at time @p now, returning its targets for
      * notification (moved out).
      */
@@ -168,6 +179,32 @@ class MshrFile
 
     int numEntries() const { return static_cast<int>(entries_.size()); }
 
+    /** Read-only view of one valid entry, for validation audits. */
+    struct EntrySnapshot
+    {
+        Addr lineAddr = invalidAddr;
+        Tick allocTick = 0;
+        bool exclusive = false;
+        bool hasRead = false;
+        bool issued = false;
+        int numTargets = 0;
+    };
+
+    /** Snapshots of all valid entries (validation audits / diagnostics). */
+    std::vector<EntrySnapshot>
+    snapshot() const
+    {
+        std::vector<EntrySnapshot> out;
+        for (const auto &e : entries_) {
+            if (!e.valid)
+                continue;
+            out.push_back({e.lineAddr, e.allocTick, e.exclusive,
+                           e.hasRead, e.issued,
+                           static_cast<int>(e.targets.size())});
+        }
+        return out;
+    }
+
   private:
     struct Entry
     {
@@ -175,6 +212,7 @@ class MshrFile
         bool exclusive = false;     ///< write intent (fetch-exclusive)
         bool hasRead = false;       ///< any load target (Fig 4(a) metric)
         bool issued = false;        ///< downstream request sent
+        bool invalidateOnFill = false;  ///< probe raced the fill
         Addr lineAddr = invalidAddr;
         Tick allocTick = 0;
         std::vector<MshrTarget> targets;

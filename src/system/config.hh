@@ -52,6 +52,26 @@ struct SystemConfig
      * false selects the reference cycle-step mode.
      */
     bool skipAhead = true;
+
+    /**
+     * Opt-in validation layer (src/validate): golden-model retirement
+     * cross-check, structural cache/MSHR/directory audits, and progress
+     * watchdogs. All checks are read-only, so enabling validation never
+     * changes simulation results — only catches bugs. Enabled by
+     * MPC_VALIDATE=1 through the harness, and in CI.
+     */
+    bool validate = false;
+    /** Abort on the first validation failure (tests clear this and
+     *  inspect System::validator()->failures() instead). */
+    bool validateFailFast = true;
+    /** Dump the ring-buffer event trace as Chrome-trace JSON here on
+     *  the first failure (empty = no dump). */
+    std::string validateTracePath;
+    /** Override the watchdog no-progress timeouts, in cycles (0 keeps
+     *  the validation library's defaults; tests shrink this). */
+    Tick validateStallTimeout = 0;
+    /** Override the structural-audit period (0 = library default). */
+    Tick validateAuditPeriod = 0;
 };
 
 /**

@@ -87,6 +87,30 @@ System::System(const SystemConfig &cfg,
             *hiers_.back(), sync_.get()));
         cores_.back()->enableQuiescence(cfg_.skipAhead);
     }
+
+    if (cfg_.validate) {
+        validate::ValidateConfig vcfg;
+        vcfg.failFast = cfg_.validateFailFast;
+        vcfg.traceDumpPath = cfg_.validateTracePath;
+        if (cfg_.validateStallTimeout > 0) {
+            vcfg.coreStallTimeout = cfg_.validateStallTimeout;
+            vcfg.systemStallTimeout = cfg_.validateStallTimeout;
+        }
+        if (cfg_.validateAuditPeriod > 0)
+            vcfg.auditPeriod = cfg_.validateAuditPeriod;
+        validator_ =
+            std::make_unique<validate::Validator>(eq_, vcfg);
+        for (int i = 0; i < n; ++i)
+            cores_[static_cast<size_t>(i)]->attachMonitor(
+                validator_->attachCore(
+                    cores_[static_cast<size_t>(i)].get(),
+                    programs_[static_cast<size_t>(i)], image_));
+        for (auto &hier : hiers_)
+            validator_->attachHierarchy(hier.get());
+        if (fabric_)
+            validator_->attachFabric(fabric_.get());
+        validator_->start();
+    }
 }
 
 RunResult
@@ -105,6 +129,8 @@ System::run(Tick max_cycles)
         }
         if (all_done)
             break;
+        if (validator_ && validator_->stopRequested())
+            break;  // a watchdog fired; stop gracefully with results
         if (cycle >= max_cycles)
             fatal("System::run exceeded %llu cycles - deadlock or "
                   "runaway kernel?",
@@ -124,6 +150,13 @@ System::run(Tick max_cycles)
                     next = std::min(next, core->nextWake());
             // next == maxTick with cores unfinished is a deadlock;
             // jump to the guard above, as reference mode would spin to.
+            // With a validator attached, record it and stop gracefully
+            // instead (its audit events normally keep the queue alive
+            // until a watchdog can diagnose the stall).
+            if (next == maxTick && validator_) {
+                validator_->onNoEvent(cycle);
+                break;
+            }
             cycle = next == maxTick ? max_cycles
                                     : std::max(cycle + 1, next);
         } else {
@@ -132,6 +165,9 @@ System::run(Tick max_cycles)
             ++cycle;
         }
     }
+
+    if (validator_)
+        validator_->finalize(eq_.now());
 
     // Collect results.
     RunResult res;
@@ -170,6 +206,15 @@ System::run(Tick max_cycles)
             res.bankUtilization,
             memories_[static_cast<size_t>(i)]->bankUtilization(eq_.now()));
     }
+    // An SMP interconnect is a bus too: fold its occupancy in so the
+    // reported bus% reflects the actual serialization point (with one
+    // memory per node, the per-node data buses can sit near idle while
+    // the shared coherence bus saturates — the Exemplar configuration).
+    if (smpBus_ && eq_.now() > 0)
+        res.busUtilization = std::max(
+            res.busUtilization,
+            static_cast<double>(smpBus_->busyTicks()) /
+                static_cast<double>(eq_.now()));
     if (fabric_)
         res.fabric = fabric_->stats();
     return res;

@@ -23,6 +23,7 @@
 #include "mem/mainmem.hh"
 #include "noc/mesh.hh"
 #include "system/config.hh"
+#include "validate/validate.hh"
 
 namespace mpc::sys
 {
@@ -103,6 +104,16 @@ class System
         return *hiers_[static_cast<size_t>(i)];
     }
 
+    /** The validation layer, or null unless SystemConfig::validate. */
+    validate::Validator *validator() { return validator_.get(); }
+
+    /** Coherence fabric (null for uniprocessors); exposed for the
+     *  validation fault-injection tests. */
+    coherence::CoherenceFabric *fabric() { return fabric_.get(); }
+
+    /** Current simulated tick (for post-run validation audits). */
+    Tick now() const { return eq_.now(); }
+
   private:
     SystemConfig cfg_;
     std::vector<kisa::Program> programs_;
@@ -116,6 +127,7 @@ class System
     std::vector<std::unique_ptr<mem::MainMemory>> memories_;
     std::vector<std::unique_ptr<mem::MemHierarchy>> hiers_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<validate::Validator> validator_;
 };
 
 } // namespace mpc::sys

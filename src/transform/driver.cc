@@ -84,6 +84,63 @@ evaluateF(const Kernel &kernel, int idx, int levels_up, int u,
     return -1.0;
 }
 
+/**
+ * Scalars that replacement would eliminate after unroll-and-jamming
+ * nest @p idx of a clone by @p u (cross-copy register reuse, the
+ * secondary benefit the transformation was originally built for).
+ * Returns 0 when the transformation is not applicable.
+ */
+int
+evaluateScalars(const Kernel &kernel, int idx, int levels_up, int u)
+{
+    Kernel trial = kernel.clone();
+    auto nests = analysis::findLoopNests(trial);
+    if (idx < 0 || idx >= static_cast<int>(nests.size()))
+        return 0;
+    Stmt *outer = nests[static_cast<size_t>(idx)].outer(levels_up);
+    if (outer == nullptr || !unrollAndJam(trial, *outer, u, false))
+        return 0;
+    auto new_nests = analysis::findLoopNests(trial);
+    for (const auto &nest : new_nests) {
+        for (const Stmt *loop : nest.loops) {
+            if (loop == outer && nest.inner()->kind == Stmt::Kind::Loop)
+                return scalarReplace(trial, *nest.inner());
+        }
+    }
+    return 0;
+}
+
+/**
+ * True when the run-matched profile shows EVERY leading regular
+ * reference of the nest realizing markedly fewer misses than the
+ * static one-per-L_m estimate the f model charges it — the situation
+ * after partitioning where each processor's footprint fits its cache
+ * and only sparse communication misses remain, which unroll-and-jam
+ * cannot cluster. One stream still missing at its modeled rate is
+ * enough to keep the jam: its copies do add real overlapped misses.
+ * References the profile never saw count as fully realized.
+ */
+bool
+missesUnderRealized(const LoopAnalysis &la, const DriverParams &params)
+{
+    if (!params.realizedMissRate || !params.realizedAccesses)
+        return false;
+    bool any_regular = false;
+    for (const auto &ref : la.refs) {
+        if (!ref.leading || !ref.regular || ref.refId < 0)
+            continue;
+        any_regular = true;
+        if (params.realizedAccesses(ref.refId) == 0)
+            return false;
+        const double static_rate =
+            1.0 / static_cast<double>(std::max<std::int64_t>(ref.lm, 1));
+        if (params.realizedMissRate(ref.refId) >=
+            params.minRealizedMissRatio * static_rate)
+            return false;
+    }
+    return any_regular;
+}
+
 } // namespace
 
 std::string
@@ -225,6 +282,19 @@ applyClustering(Kernel &kernel, const DriverParams &params)
                 if (lo > 1 && evaluateF(kernel, idx, levels_up, lo,
                                         ap) > before.f + 0.5)
                     chosen = lo;
+                // The modeled rise must also be realizable: when the
+                // run-matched profile shows the leading streams mostly
+                // hitting (per-processor footprint fits after
+                // partitioning), the extra copies add misses only on
+                // paper, and unless they at least enable cross-copy
+                // register reuse the jam is pure code expansion —
+                // refuse it (DESIGN.md section 5).
+                if (chosen > 1 && missesUnderRealized(before, params) &&
+                    evaluateScalars(kernel, idx, levels_up, chosen) ==
+                        0) {
+                    chosen = 1;
+                    nr.note = "refused: profiled misses below modeled";
+                }
                 if (chosen > 1) {
                     outer = candidate;
                     auto [owner, pos] = findOwner(kernel, outer);

@@ -23,6 +23,7 @@
 #ifndef MPC_TRANSFORM_DRIVER_HH
 #define MPC_TRANSFORM_DRIVER_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -44,6 +45,25 @@ struct DriverParams
     std::function<int(const ir::Kernel &, const ir::Stmt &)> bodySize;
     /** Profiled miss rate per refId for irregular references. */
     std::function<double(int)> missRate;
+    /**
+     * Run-matched (multiprocessor) profile: per-refId miss rate and
+     * access count measured on the partitioned per-core programs with
+     * per-core caches and write-invalidation. Null on uniprocessor
+     * runs. Partitioning shrinks each processor's footprint, so a
+     * regular reference's static miss-every-L_m-iterations estimate
+     * can stop holding: the remaining misses are sparse communication
+     * misses that unroll-and-jam cannot cluster. The driver uses these
+     * to refuse a jam whose modeled f rise would not be realized
+     * (DESIGN.md section 5) and which enables no register reuse.
+     */
+    std::function<double(int)> realizedMissRate;
+    std::function<std::uint64_t(int)> realizedAccesses;
+    /**
+     * Refuse unroll-and-jam (unless it enables scalar replacement)
+     * when the profiled misses of the nest's leading regular
+     * references fall below this fraction of the static estimate.
+     */
+    double minRealizedMissRatio = 0.75;
 
     bool enableScalarReplacement = true;
     bool enablePostludeInterchange = true;

@@ -14,9 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include "codegen/codegen.hh"
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "system/system.hh"
+#include "transform/transforms.hh"
 #include "workloads/workload.hh"
 
 namespace mpc
@@ -178,6 +180,40 @@ TEST(SkipAhead, MultiprocessorBitIdentical)
 TEST(SkipAhead, MultiprocessorClusteredBitIdentical)
 {
     expectModeEquivalence("ocean", 4, true);
+}
+
+sys::RunResult
+runPrefetchVariant(const std::string &app, int distance, bool skip_ahead)
+{
+    // Mirrors bench_prefetch's prefetch-only variant (ablation A5):
+    // software prefetch instructions ahead of the leading references,
+    // lowered directly rather than through RunSpec.
+    workloads::SizeParams size;
+    size.scale = 1;
+    const auto w = workloads::makeByName(app, size);
+    ir::Kernel kernel = w.kernel.clone();
+    transform::insertPrefetches(kernel, distance);
+    auto programs = codegen::lowerForCores(kernel, 1, false, {});
+    kisa::MemoryImage image;
+    w.init(image);
+    auto config = harness::scaleConfig(sys::baseConfig(), w);
+    config.skipAhead = skip_ahead;
+    sys::System system(config, std::move(programs), image);
+    return system.run();
+}
+
+TEST(SkipAhead, PrefetchWorkloadBitIdentical)
+{
+    // The A5 prefetch variant fills the memory queue with non-blocking
+    // prefetches whose completions are the only wake-up events during
+    // long stalls: skip-ahead must land on those completion ticks
+    // exactly, or prefetched lines arrive a cycle late and every
+    // downstream stat shifts.
+    for (const char *app : {"ocean", "latbench"}) {
+        SCOPED_TRACE(app);
+        expectBitIdentical(runPrefetchVariant(app, 4, true),
+                           runPrefetchVariant(app, 4, false));
+    }
 }
 
 TEST(SkipAhead, LatbenchSweepBitIdentical)

@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "codegen/codegen.hh"
+#include "harness/parallel.hh"
 #include "harness/profiler.hh"
 #include "harness/runner.hh"
 #include "transform/driver.hh"
@@ -188,6 +194,60 @@ TEST(Runner, MaxUnrollCapRespected)
     EXPECT_LE(run.report.nests[0].unrollDegree, 3);
 }
 
+
+TEST(ParallelRunner, ThrowingJobDoesNotLoseOtherResults)
+{
+    // One job throws mid-list: every other result slot must still
+    // settle before the failure is rethrown, and the error must name
+    // the failing job by index and label.
+    const std::size_t n = 8;
+    std::vector<std::atomic<int>> done(n);
+    std::vector<std::function<void()>> jobs;
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < n; ++i) {
+        labels.push_back("job-" + std::to_string(i));
+        jobs.push_back([&done, i] {
+            if (i == 3)
+                throw std::runtime_error("synthetic fault");
+            done[i] = 1;
+        });
+    }
+    bool threw = false;
+    try {
+        ParallelRunner(4).run(jobs, labels);
+    } catch (const std::runtime_error &e) {
+        threw = true;
+        const std::string what = e.what();
+        EXPECT_NE(what.find("parallel job 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("job-3"), std::string::npos) << what;
+        EXPECT_NE(what.find("synthetic fault"), std::string::npos) << what;
+        EXPECT_NE(what.find("1 of 8 jobs failed"), std::string::npos)
+            << what;
+    }
+    EXPECT_TRUE(threw);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(done[i].load(), i == 3 ? 0 : 1) << "slot " << i;
+}
+
+TEST(ParallelRunner, MultipleFailuresReportFirstAndCount)
+{
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back([i] {
+            if (i % 2 == 0)
+                throw std::runtime_error("fault " + std::to_string(i));
+        });
+    // Single-threaded so "first" is deterministic (job 0).
+    try {
+        ParallelRunner(1).run(jobs);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("parallel job 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("3 of 6 jobs failed"), std::string::npos)
+            << what;
+    }
+}
 
 TEST(PerRefStats, SimulatorTracksPerReferenceMisses)
 {

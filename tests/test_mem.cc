@@ -152,6 +152,108 @@ TEST(EventQueue, WheelMatchesHeapOracleSweep)
     }
 }
 
+TEST(EventQueue, WheelHorizonBoundaryExact)
+{
+    // The wheel holds events with when < now + 256; an event exactly
+    // 256 ticks ahead is the first to fall into the far heap. Schedule
+    // straddling pairs at deltas 254..258 against the heap oracle and
+    // require identical execution order either side of the boundary.
+    EventQueue wheel;
+    HeapEventQueue heap;
+    std::vector<int> order_a, order_b;
+    auto drive = [](auto &q, std::vector<int> &order) {
+        int id = 0;
+        // Interleave boundary deltas so (when, seq) order differs from
+        // scheduling order: 258, 254, 257, 255, 256.
+        for (const Tick delta : {258, 254, 257, 255, 256})
+            q.schedule(q.now() + delta, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        q.advanceTo(q.now() + 300);
+        // Repeat from a non-zero now so "exactly at the horizon" is
+        // measured against a moved origin.
+        for (const Tick delta : {256, 255, 254, 257})
+            q.schedule(q.now() + delta, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        q.advanceTo(q.now() + 300);
+    };
+    drive(wheel, order_a);
+    drive(heap, order_b);
+    EXPECT_EQ(order_a, order_b);
+    EXPECT_EQ(order_a, (std::vector<int>{1, 3, 4, 2, 0, 7, 6, 5, 8}));
+    EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventQueue, WheelWrapAround)
+{
+    // Slot index is when & 255: events scheduled just before a wheel
+    // wrap land in low slots while now sits in high slots. Walk now up
+    // to the wrap edge and schedule across it; order must match the
+    // oracle and be strictly (when, seq)-sorted.
+    EventQueue wheel;
+    HeapEventQueue heap;
+    std::vector<int> order_a, order_b;
+    auto drive = [](auto &q, std::vector<int> &order) {
+        int id = 0;
+        q.advanceTo(250);   // six ticks before the first wrap at 256
+        for (const Tick when : {251, 260, 255, 300, 256, 505, 270})
+            q.schedule(when, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        q.advanceTo(254);   // partial drain, still below the wrap
+        for (const Tick when : {258, 509, 300})
+            q.schedule(when, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        q.advanceTo(600);
+    };
+    drive(wheel, order_a);
+    drive(heap, order_b);
+    EXPECT_EQ(order_a, order_b);
+    EXPECT_EQ(order_a,
+              (std::vector<int>{0, 2, 4, 7, 1, 6, 3, 9, 5, 8}));
+    EXPECT_TRUE(wheel.empty());
+    EXPECT_EQ(wheel.now(), heap.now());
+}
+
+TEST(EventQueue, SameTickBurstStraddlesWheelHeapSplit)
+{
+    // One tick can hold events resident in the heap (scheduled while
+    // the tick was beyond the horizon) and in the wheel (scheduled
+    // after now moved close enough). The heap events carry strictly
+    // lower sequence numbers, so the split must drain heap-first and
+    // FIFO within each side.
+    EventQueue wheel;
+    HeapEventQueue heap;
+    std::vector<int> order_a, order_b;
+    auto drive = [](auto &q, std::vector<int> &order) {
+        const Tick target = 300;
+        int id = 0;
+        for (int i = 0; i < 3; ++i)   // now=0: 300 is past the horizon
+            q.schedule(target, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        q.advanceTo(100);             // 300 now inside the horizon
+        for (int i = 0; i < 3; ++i)
+            q.schedule(target, [&order, ev = id++] {
+                order.push_back(ev);
+            });
+        // A same-tick event appended *during* the burst must still run
+        // this tick, after every pre-scheduled event.
+        q.schedule(target, [&order, &q, target, late = id++] {
+            order.push_back(late);
+            q.schedule(target, [&order] { order.push_back(99); });
+        });
+        q.advanceTo(400);
+    };
+    drive(wheel, order_a);
+    drive(heap, order_b);
+    EXPECT_EQ(order_a, order_b);
+    EXPECT_EQ(order_a, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 99}));
+    EXPECT_TRUE(wheel.empty());
+}
+
 TEST(EventQueue, OversizedCallableBoxed)
 {
     // Captures beyond the inline buffer take the boxed std::function

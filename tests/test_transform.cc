@@ -489,6 +489,119 @@ TEST(Driver, SkipsSatisfiedLoop)
     EXPECT_EQ(report.nests[0].unrollDegree, 1);
 }
 
+TEST(Driver, NoOpWhenModeledFDoesNotImprove)
+{
+    // A parallel outer loop whose index appears in no subscript (the
+    // time-loop shape): jamming it is legal, but the copies access the
+    // same lines, so f(u) == f(1) and the driver must refuse the jam
+    // (DESIGN.md section 5: never transform without a modeled f rise).
+    Kernel k;
+    Array *a = k.addArray("A", ScalType::F64, {64});
+    Array *b = k.addArray("B", ScalType::F64, {64});
+    Array *c = k.addArray("C", ScalType::F64, {64});
+    std::vector<StmtPtr> ib;
+    ib.push_back(assign(aref(c, subs1(varref("i"))),
+                        add(aref(a, subs1(varref("i"))),
+                            aref(b, subs1(varref("i"))))));
+    std::vector<StmtPtr> ob;
+    ob.push_back(forLoop("i", iconst(0), iconst(64), std::move(ib)));
+    k.body.push_back(forLoop("t", iconst(0), iconst(16), std::move(ob),
+                             1, /*parallel=*/true));
+    assignRefIds(k);
+    layoutArrays(k);
+
+    DriverParams params;
+    params.lp = 10;
+    params.enableInnerUnroll = false;
+    auto report = applyClustering(k, params);
+    ASSERT_EQ(report.nests.size(), 1u);
+    EXPECT_EQ(report.nests[0].unrollDegree, 1);
+    EXPECT_NEAR(report.nests[0].fAfter, report.nests[0].fBefore, 0.01);
+}
+
+TEST(Driver, RealizedMissGateRefusesUnderRealizedJam)
+{
+    // Run-matched profile says every leading stream mostly hits (the
+    // post-partitioning FFT butterfly situation): the modeled f rise is
+    // not realizable and the jam enables no register reuse — refuse.
+    Kernel k = sweepKernel(64, 64);
+    DriverParams params;
+    params.lp = 10;
+    params.enableInnerUnroll = false;
+    params.realizedMissRate = [](int) { return 0.001; };
+    params.realizedAccesses = [](int) { return std::uint64_t(4096); };
+    auto report = applyClustering(k, params);
+    ASSERT_EQ(report.nests.size(), 1u);
+    EXPECT_EQ(report.nests[0].unrollDegree, 1);
+    EXPECT_NE(report.nests[0].note.find("refused"), std::string::npos);
+}
+
+TEST(Driver, RealizedMissGateKeepsRealizedJam)
+{
+    // Same kernel, but the profile confirms the static estimate (one
+    // miss per L_m = 8 iterations): the jam proceeds as normal.
+    Kernel k = sweepKernel(64, 64);
+    DriverParams params;
+    params.lp = 10;
+    params.enableInnerUnroll = false;
+    params.realizedMissRate = [](int) { return 0.125; };
+    params.realizedAccesses = [](int) { return std::uint64_t(4096); };
+    auto report = applyClustering(k, params);
+    ASSERT_EQ(report.nests.size(), 1u);
+    EXPECT_EQ(report.nests[0].unrollDegree, 5);
+}
+
+TEST(Driver, RealizedMissGateKeepsJamWithOneLiveStream)
+{
+    // One stream still missing at its modeled rate is enough to keep
+    // the jam (the ocean/erlebacher shape: a temporally-reused row
+    // drags the aggregate down, but the new-data stream still gains
+    // overlapped misses from its copies).
+    Kernel k = sweepKernel(64, 64);
+    DriverParams params;
+    params.lp = 10;
+    params.enableInnerUnroll = false;
+    params.realizedMissRate = [](int ref_id) {
+        return ref_id == 0 ? 0.125 : 0.001;
+    };
+    params.realizedAccesses = [](int) { return std::uint64_t(4096); };
+    auto report = applyClustering(k, params);
+    ASSERT_EQ(report.nests.size(), 1u);
+    EXPECT_EQ(report.nests[0].unrollDegree, 5);
+}
+
+TEST(Driver, RealizedMissGateKeepsJamEnablingScalarReuse)
+{
+    // Even with every stream under-realized, a jam that enables
+    // cross-iteration register reuse is kept (the LU shape: the jam's
+    // payoff is scalar replacement, not clustered misses).
+    Kernel k;
+    Array *a = k.addArray("A", ScalType::F64, {64, 64});
+    Array *b = k.addArray("B", ScalType::F64, {64, 64});
+    Array *c = k.addArray("C", ScalType::F64, {64});
+    std::vector<StmtPtr> ib;
+    ib.push_back(assign(
+        aref(b, subs2(varref("j"), varref("i"))),
+        mul(aref(a, subs2(varref("j"), varref("i"))),
+            aref(c, subs1(varref("j"))))));
+    std::vector<StmtPtr> ob;
+    ob.push_back(forLoop("i", iconst(0), iconst(64), std::move(ib)));
+    k.body.push_back(forLoop("j", iconst(0), iconst(64),
+                             std::move(ob)));
+    assignRefIds(k);
+    layoutArrays(k);
+
+    DriverParams params;
+    params.lp = 10;
+    params.enableInnerUnroll = false;
+    params.realizedMissRate = [](int) { return 0.001; };
+    params.realizedAccesses = [](int) { return std::uint64_t(4096); };
+    auto report = applyClustering(k, params);
+    ASSERT_EQ(report.nests.size(), 1u);
+    EXPECT_GT(report.nests[0].unrollDegree, 1);
+    EXPECT_GT(report.nests[0].scalarsReplaced, 0);
+}
+
 
 // ---------------------------------------------------------------------
 // Loop fusion (the Section 6 extension).
