@@ -34,6 +34,8 @@ main()
                     "E6: multiprocessor at 1 GHz "
                     "(paper: 5-36% reduction, avg 21%)")
                     .c_str());
+    bench::reportModelVsMeasured("1ghz_uni", uni);
+    bench::reportModelVsMeasured("1ghz_multi", multi);
     bench::reportTimings("1ghz_uni", uni);
     bench::reportTimings("1ghz_multi", multi);
     return 0;

@@ -191,6 +191,27 @@ reportTimings(const std::string &bench, const AppRunResults &r)
     writeBenchJson(bench, runs, r.threads, r.totalWallSeconds);
 }
 
+/**
+ * Print the model-vs-measured table (predicted per-nest f from
+ * Equations 1-4 next to measured MLP) and write the structured twin,
+ * MODEL_VS_MEASURED_<bench>.json, beside BENCH_<bench>.json. Both come
+ * from the same RunResult histograms, so stdout stays byte-identical
+ * across step modes and MPC_OBS settings.
+ */
+inline void
+reportModelVsMeasured(const std::string &bench, const AppRunResults &r)
+{
+    std::printf("%s\n",
+                harness::formatModelVsMeasured(
+                    r.names, r.pairs,
+                    "model vs measured: predicted f / measured MLP (" +
+                        bench + ")")
+                    .c_str());
+    const std::string path = "MODEL_VS_MEASURED_" + bench + ".json";
+    if (!harness::writeModelVsMeasuredJson(path, r.names, r.pairs))
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+}
+
 inline const std::vector<std::string> &
 allAppNames()
 {

@@ -26,6 +26,7 @@ main()
                     harness::formatDriverSummary(r.names[i],
                                                  r.pairs[i].clust.report)
                         .c_str());
+    bench::reportModelVsMeasured("fig3a_multi", r);
     bench::reportTimings("fig3a_multi", r);
     return 0;
 }

@@ -26,6 +26,7 @@ main()
                     harness::formatDriverSummary(r.names[i],
                                                  r.pairs[i].clust.report)
                         .c_str());
+    bench::reportModelVsMeasured("fig3b_uni", r);
     bench::reportTimings("fig3b_uni", r);
     return 0;
 }

@@ -41,5 +41,8 @@ main()
                     "E5 / Figure 4: L2 MSHR utilization (multiprocessor "
                     "Ocean and LU)")
                     .c_str());
+    // Structured twin of the table above, from the same Fig4Series.
+    if (!harness::writeFig4Json("FIG4_mshr.json", labels, runs))
+        std::fprintf(stderr, "warning: cannot write FIG4_mshr.json\n");
     return 0;
 }

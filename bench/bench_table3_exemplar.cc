@@ -37,6 +37,8 @@ main()
                     "% execution time reduced "
                     "(paper: 9-38% for 6 of 7 apps)")
                     .c_str());
+    bench::reportModelVsMeasured("table3_exemplar_multi", multi);
+    bench::reportModelVsMeasured("table3_exemplar_uni", uni);
     bench::reportTimings("table3_exemplar_multi", multi);
     bench::reportTimings("table3_exemplar_uni", uni);
     return 0;

@@ -124,6 +124,24 @@ class OccupancyHistogram
         return weighted / static_cast<double>(totalTicks_);
     }
 
+    /**
+     * Mean level conditioned on level >= @p floor. With floor 1 on the
+     * read-MSHR histogram this is the measured MLP of the paper:
+     * average outstanding read misses over the time at least one is
+     * outstanding. Returns 0 when no time was spent at or above floor.
+     */
+    double
+    meanLevelAtLeast(int floor) const
+    {
+        Tick ticks = 0;
+        double weighted = 0.0;
+        for (int l = std::max(floor, 0); l <= maxLevel(); ++l) {
+            ticks += ticksAt(l);
+            weighted += static_cast<double>(ticksAt(l)) * l;
+        }
+        return ticks > 0 ? weighted / static_cast<double>(ticks) : 0.0;
+    }
+
     /** Merge another histogram (levels clamp to this one's max). */
     void
     merge(const OccupancyHistogram &other)
@@ -135,6 +153,77 @@ class OccupancyHistogram
   private:
     std::vector<Tick> ticksAtLevel_;
     Tick totalTicks_ = 0;
+};
+
+/**
+ * Event-count histogram over small non-negative integer values (e.g.,
+ * miss-cluster sizes). Unlike OccupancyHistogram the weight of each
+ * record is one event, not a span of simulated time. The value range
+ * grows on demand; values are clamped to @p max_value when one is given.
+ */
+class CountHistogram
+{
+  public:
+    explicit CountHistogram(int max_value = -1) : maxValue_(max_value) {}
+
+    /** Record one event with value @p value (negatives clamp to 0). */
+    void
+    record(int value)
+    {
+        if (value < 0)
+            value = 0;
+        if (maxValue_ >= 0)
+            value = std::min(value, maxValue_);
+        if (static_cast<size_t>(value) >= counts_.size())
+            counts_.resize(static_cast<size_t>(value) + 1, 0);
+        ++counts_[static_cast<size_t>(value)];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    int maxRecorded() const { return static_cast<int>(counts_.size()) - 1; }
+
+    std::uint64_t
+    countAt(int value) const
+    {
+        if (value < 0 || static_cast<size_t>(value) >= counts_.size())
+            return 0;
+        return counts_[static_cast<size_t>(value)];
+    }
+
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double weighted = 0.0;
+        for (size_t v = 0; v < counts_.size(); ++v)
+            weighted += static_cast<double>(counts_[v]) *
+                        static_cast<double>(v);
+        return weighted / static_cast<double>(total_);
+    }
+
+    void
+    merge(const CountHistogram &other)
+    {
+        for (int v = 0; v <= other.maxRecorded(); ++v) {
+            const std::uint64_t n = other.countAt(v);
+            if (n == 0)
+                continue;
+            int value = v;
+            if (maxValue_ >= 0)
+                value = std::min(value, maxValue_);
+            if (static_cast<size_t>(value) >= counts_.size())
+                counts_.resize(static_cast<size_t>(value) + 1, 0);
+            counts_[static_cast<size_t>(value)] += n;
+            total_ += n;
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    int maxValue_;
 };
 
 /**

@@ -45,6 +45,10 @@ Core::tick()
         const Tick skipped = now - lastTick_ - 1;
         attributeStall(sleepCat_,
                        skipped * static_cast<Tick>(cfg_.retireWidth));
+        if (obs_ != nullptr)
+            obs_->stallRange(lastTick_ + 1, now, sleepWhy_,
+                             skipped *
+                                 static_cast<Tick>(cfg_.retireWidth));
     }
     lastTick_ = now;
     doRetire(now);
@@ -61,6 +65,8 @@ Core::computeNextWake(Tick now)
     // Stall category reference mode's doRetire would charge while this
     // core sleeps: recomputed from post-tick state, which is exactly the
     // state reference mode would see at the start of each skipped cycle.
+    if (obs_ != nullptr)
+        sleepWhy_ = classifyWhy();
     sleepCat_ = StallCat::Cpu;
     if (headSeq_ < tailSeq_) {
         const Entry &head = slot(headSeq_);
@@ -245,6 +251,8 @@ Core::doRetire(Tick now)
         }
         if (monitor_)
             monitor_->onRetire(now, e.pc, headSeq_);
+        if (obs_ != nullptr)
+            obs_->retired(now, e.pc);
         ++headSeq_;
         ++retired;
         ++stats_.retired;
@@ -273,6 +281,55 @@ Core::doRetire(Tick now)
             cat = StallCat::Cpu;
     }
     attributeStall(cat, stall_slots);
+    if (obs_ != nullptr)
+        obs_->stallRange(now, now + 1, classifyWhy(),
+                         static_cast<std::uint64_t>(stall_slots));
+}
+
+obs::StallWhy
+Core::classifyWhy() const
+{
+    if (headSeq_ >= tailSeq_)
+        return obs::StallWhy::Cpu;      // empty window: fetch/mispredict
+    const Entry &head = slot(headSeq_);
+    const Op op = head.instr->op;
+    if (op == Op::Barrier || op == Op::FlagWait)
+        return obs::StallWhy::Sync;
+    if (head.isLoad) {
+        switch (head.state) {
+          case EState::WaitCache:
+            return head.rejectMshr ? obs::StallWhy::MshrFull
+                                   : obs::StallWhy::Other;
+          case EState::Outstanding:
+            if (head.coalesced)
+                return obs::StallWhy::LineDep;
+            if (head.addrFromLoad)
+                return obs::StallWhy::AddrDep;
+            return tailSeq_ - headSeq_ >= window_.size()
+                       ? obs::StallWhy::WindowFull
+                       : obs::StallWhy::Leader;
+          default:
+            // WaitOperands/WaitAgen (issue-side latency) or Completed
+            // (drains later this same cycle).
+            return obs::StallWhy::Other;
+        }
+    }
+    if (head.isStore && head.state != EState::Completed)
+        return obs::StallWhy::Store;
+    return obs::StallWhy::Other;
+}
+
+bool
+Core::producerLoadInFlight(std::uint64_t prod, Tick now) const
+{
+    if (prod == 0)
+        return false;
+    const std::uint64_t seq = prod - 1;
+    if (seq < headSeq_)
+        return false;   // retired: value was available long before
+    const Entry &p = slot(seq);
+    return p.isLoad &&
+           !(p.state == EState::Completed && p.completeTick <= now);
 }
 
 void
@@ -303,8 +360,10 @@ bool
 Core::tryLoadAccess(std::uint64_t seq, Tick now)
 {
     Entry &e = slot(seq);
+    mem::AccessInfo info;
     const auto status = hier_.load(
-        e.memAddr, e.instr->refId, [this, seq](Tick t) {
+        e.memAddr, e.instr->refId,
+        [this, seq](Tick t) {
             wakeAt(t);
             Entry &entry = slot(seq);
             entry.state = EState::Completed;
@@ -312,16 +371,26 @@ Core::tryLoadAccess(std::uint64_t seq, Tick now)
             const auto latency =
                 static_cast<double>(t - entry.issueTick);
             const Tick l1_hit = hier_.l1().config().hitLatency;
-            if (latency > static_cast<double>(l1_hit) + 1)
+            if (latency > static_cast<double>(l1_hit) + 1) {
                 stats_.loadMissLatency.sample(latency);
+                if (obs_ != nullptr)
+                    obs_->loadMiss(entry.instr->refId, latency,
+                                   entry.obsOverlap, entry.coalesced);
+            }
             const Tick l2_hit = hier_.l2().config().hitLatency;
             if (latency > static_cast<double>(l1_hit + l2_hit) + 4)
                 stats_.longMissLatency.sample(latency);
-        });
-    if (status != mem::Cache::Status::Ok)
+        },
+        &info);
+    if (status != mem::Cache::Status::Ok) {
+        e.rejectMshr = status == mem::Cache::Status::RejectMshr;
         return false;
+    }
     e.state = EState::Outstanding;
     e.issueTick = now;
+    e.coalesced = info.coalesced;
+    if (obs_ != nullptr)
+        e.obsOverlap = obs_->overlapNow();
     return true;
 }
 
@@ -500,6 +569,9 @@ Core::doDispatch(Tick now)
                 e.isStore = !res.isLoad;
             }
             ++memQueueUsed_;
+            if (obs_ != nullptr && e.isLoad)
+                e.addrFromLoad = producerLoadInFlight(e.prodA, now) ||
+                                 producerLoadInFlight(e.prodB, now);
         }
         if (kisa::isBranch(in.op)) {
             ++stats_.branches;

@@ -39,6 +39,7 @@
 #include "kisa/program.hh"
 #include "mem/eventq.hh"
 #include "mem/hierarchy.hh"
+#include "obs/metrics.hh"
 
 namespace mpc::cpu
 {
@@ -122,6 +123,11 @@ class Core
     /** Attach a validation observer (not owned; null detaches). */
     void attachMonitor(CoreMonitor *monitor) { monitor_ = monitor; }
 
+    /** Attach the observability sink (not owned; null detaches). All
+     *  hooks read frozen pipeline state only, so attaching never
+     *  changes simulated results. */
+    void attachObs(obs::CoreObs *obs) { obs_ = obs; }
+
     /**
      * Fault injection for validation tests: at the first tick at or
      * after @p when, flip the low bit of integer register @p reg. The
@@ -170,6 +176,12 @@ class Core
         bool isPrefetch = false;
         bool mispredicted = false;
         Tick issueTick = maxTick;   ///< cache-access launch (loads)
+
+        // Observability annotations (never read by the timing model).
+        bool coalesced = false;     ///< load merged into in-flight line
+        bool rejectMshr = false;    ///< last cache retry hit MSHR limit
+        bool addrFromLoad = false;  ///< address depends on in-flight load
+        int obsOverlap = -1;        ///< outstanding reads after issue
     };
 
     Entry &slot(std::uint64_t seq) { return window_[seq % window_.size()]; }
@@ -196,6 +208,16 @@ class Core
     /** Attribute the non-busy remainder of a cycle (or of a batch of
      *  skipped stall cycles). */
     void attributeStall(StallCat cat, std::uint64_t slots);
+
+    /** Refine the stall into the observability taxonomy. Pure function
+     *  of frozen window state (no clock reads), so the answer is stable
+     *  across a quiescent sleep window: any state change wakes the
+     *  core. */
+    obs::StallWhy classifyWhy() const;
+
+    /** True if @p prod (seq+1 encoding) is an in-flight load at @p now
+     *  (dispatch-time address-dependence detection). */
+    bool producerLoadInFlight(std::uint64_t prod, Tick now) const;
 
     /**
      * Compute the earliest cycle after @p now at which a tick could
@@ -266,6 +288,7 @@ class Core
     CoreStats stats_;
 
     CoreMonitor *monitor_ = nullptr;
+    obs::CoreObs *obs_ = nullptr;
     Tick faultTick_ = maxTick;      ///< pending injected fault (tests)
     std::uint16_t faultReg_ = 0;
 
@@ -275,6 +298,7 @@ class Core
     Tick lastTick_ = maxTick;       ///< cycle of the last tick (sentinel:
                                     ///< never ticked)
     StallCat sleepCat_ = StallCat::Cpu; ///< stall charged while asleep
+    obs::StallWhy sleepWhy_ = obs::StallWhy::Cpu; ///< taxonomy twin
 };
 
 } // namespace mpc::cpu

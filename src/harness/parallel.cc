@@ -30,8 +30,11 @@ ParallelRunner::defaultThreads()
 
 void
 ParallelRunner::run(const std::vector<std::function<void()>> &jobs,
-                    const std::vector<std::string> &labels) const
+                    const std::vector<std::string> &labels,
+                    std::vector<double> *wall_seconds) const
 {
+    if (wall_seconds != nullptr)
+        wall_seconds->assign(jobs.size(), 0.0);
     if (jobs.empty())
         return;
     const int workers =
@@ -47,8 +50,14 @@ ParallelRunner::run(const std::vector<std::function<void()>> &jobs,
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
+            const auto t0 = std::chrono::steady_clock::now();
             try {
                 jobs[i]();
+                if (wall_seconds != nullptr)
+                    (*wall_seconds)[i] =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
             } catch (...) {
                 // Record the first failure; later jobs still run so
                 // every result slot settles before we rethrow.
@@ -126,9 +135,7 @@ runPairsParallel(const std::vector<PairJob> &jobs, int threads)
             spec.config = job.config;
             spec.procs = job.procs;
             spec.clustered = false;
-            auto timed = runWorkloadTimed(job.workload, spec);
-            results[i].pair.base = std::move(timed.run);
-            results[i].baseTiming = timed.timing;
+            results[i].pair.base = runWorkload(job.workload, spec);
         });
         tasks.push_back([&jobs, &results, i] {
             const PairJob &job = jobs[i];
@@ -136,12 +143,24 @@ runPairsParallel(const std::vector<PairJob> &jobs, int threads)
             spec.config = job.config;
             spec.procs = job.procs;
             spec.clustered = true;
-            auto timed = runWorkloadTimed(job.workload, spec);
-            results[i].pair.clust = std::move(timed.run);
-            results[i].clustTiming = timed.timing;
+            results[i].pair.clust = runWorkload(job.workload, spec);
         });
     }
-    ParallelRunner(threads).run(tasks, labels);
+    // The runner is the single timing source: per-job wall times come
+    // back by index and are folded into the pair results by label order.
+    std::vector<double> wall;
+    ParallelRunner(threads).run(tasks, labels, &wall);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto rate = [](double secs, Tick cycles) {
+            return secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
+        };
+        results[i].baseTiming.wallSeconds = wall[2 * i];
+        results[i].baseTiming.cyclesPerSec =
+            rate(wall[2 * i], results[i].pair.base.result.cycles);
+        results[i].clustTiming.wallSeconds = wall[2 * i + 1];
+        results[i].clustTiming.cyclesPerSec =
+            rate(wall[2 * i + 1], results[i].pair.clust.result.cycles);
+    }
     return results;
 }
 

@@ -53,9 +53,14 @@ class ParallelRunner
      * index (and label, when @p labels provides one) plus the total
      * failure count. Exceptions not derived from std::exception
      * propagate unwrapped.
+     *
+     * @p wall_seconds, when non-null, is resized to jobs.size() and
+     * receives each job's host wall-time by job index — the single
+     * timing source the benches report (keyed by label).
      */
     void run(const std::vector<std::function<void()>> &jobs,
-             const std::vector<std::string> &labels = {}) const;
+             const std::vector<std::string> &labels = {},
+             std::vector<double> *wall_seconds = nullptr) const;
 
   private:
     int threads_;

@@ -1,6 +1,7 @@
 #include "harness/report.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -99,14 +100,33 @@ formatReductionTable(const std::vector<std::string> &names,
     return out.str();
 }
 
+Fig4Series
+fig4Series(const std::vector<std::string> &labels,
+           const std::vector<const sys::RunResult *> &runs)
+{
+    Fig4Series s;
+    s.labels = labels;
+    s.maxLevel = runs.empty() ? 10 : runs[0]->l2TotalMshr.maxLevel();
+    for (const sys::RunResult *run : runs) {
+        std::vector<double> read, total;
+        for (int level = 0; level <= s.maxLevel; ++level) {
+            read.push_back(run->l2ReadMshr.fracAtLeast(level));
+            total.push_back(run->l2TotalMshr.fracAtLeast(level));
+        }
+        s.fracRead.push_back(std::move(read));
+        s.fracTotal.push_back(std::move(total));
+    }
+    return s;
+}
+
 std::string
 formatFig4(const std::vector<std::string> &labels,
            const std::vector<const sys::RunResult *> &runs,
            const std::string &title)
 {
+    const Fig4Series s = fig4Series(labels, runs);
     std::ostringstream out;
     out << "== " << title << " ==\n";
-    // (a) read-MSHR utilization
     for (int part = 0; part < 2; ++part) {
         out << (part == 0
                     ? "(a) fraction of time >= N L2 MSHRs hold read "
@@ -115,24 +135,127 @@ formatFig4(const std::vector<std::string> &labels,
                       "(reads + writes)\n");
         TablePrinter table;
         std::vector<std::string> header{"N"};
-        for (const auto &label : labels)
+        for (const auto &label : s.labels)
             header.push_back(label);
         table.setHeader(header);
-        const int max_level = runs.empty()
-                                  ? 10
-                                  : runs[0]->l2TotalMshr.maxLevel();
-        for (int level = 0; level <= max_level; ++level) {
+        const auto &series = part == 0 ? s.fracRead : s.fracTotal;
+        for (int level = 0; level <= s.maxLevel; ++level) {
             std::vector<std::string> cells{std::to_string(level)};
-            for (const sys::RunResult *run : runs) {
-                const auto &hist = part == 0 ? run->l2ReadMshr
-                                             : run->l2TotalMshr;
-                cells.push_back(fmtDouble(hist.fracAtLeast(level), 3));
-            }
+            for (const auto &run : series)
+                cells.push_back(
+                    fmtDouble(run[static_cast<std::size_t>(level)], 3));
             table.addRow(cells);
         }
         out << table.render();
     }
     return out.str();
+}
+
+bool
+writeFig4Json(const std::string &path,
+              const std::vector<std::string> &labels,
+              const std::vector<const sys::RunResult *> &runs)
+{
+    const Fig4Series s = fig4Series(labels, runs);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\n  \"maxLevel\": %d,\n  \"runs\": [\n",
+                 s.maxLevel);
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+        std::fprintf(f, "    {\"label\": \"%s\",\n     \"fracAtLeastRead\": [",
+                     s.labels[i].c_str());
+        for (std::size_t l = 0; l < s.fracRead[i].size(); ++l)
+            std::fprintf(f, "%s%.6f", l == 0 ? "" : ", ",
+                         s.fracRead[i][l]);
+        std::fprintf(f, "],\n     \"fracAtLeastTotal\": [");
+        for (std::size_t l = 0; l < s.fracTotal[i].size(); ++l)
+            std::fprintf(f, "%s%.6f", l == 0 ? "" : ", ",
+                         s.fracTotal[i][l]);
+        std::fprintf(f, "]}%s\n",
+                     i + 1 < s.labels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+}
+
+double
+measuredMlp(const sys::RunResult &run)
+{
+    return run.l2ReadMshr.meanLevelAtLeast(1);
+}
+
+std::string
+formatModelVsMeasured(const std::vector<std::string> &names,
+                      const std::vector<PairResult> &pairs,
+                      const std::string &title)
+{
+    TablePrinter table;
+    table.setHeader({"app", "loop", "u", "f base", "f clust",
+                     "MLP base", "MLP clust"});
+    for (std::size_t a = 0; a < pairs.size(); ++a) {
+        const auto &nests = pairs[a].clust.report.nests;
+        const std::string mlp_base =
+            fmtDouble(measuredMlp(pairs[a].base.result), 2);
+        const std::string mlp_clust =
+            fmtDouble(measuredMlp(pairs[a].clust.result), 2);
+        if (nests.empty()) {
+            table.addRow({names[a], "-", "-", "-", "-", mlp_base,
+                          mlp_clust});
+            continue;
+        }
+        for (std::size_t n = 0; n < nests.size(); ++n) {
+            const auto &nest = nests[n];
+            const int u = nest.unrollDegree * nest.innerUnrollDegree;
+            table.addRow({n == 0 ? names[a] : "", nest.loopVar,
+                          std::to_string(u),
+                          fmtDouble(nest.fBefore, 2),
+                          fmtDouble(nest.fAfter, 2),
+                          n == 0 ? mlp_base : "",
+                          n == 0 ? mlp_clust : ""});
+        }
+    }
+    std::ostringstream out;
+    out << "== " << title << " ==\n"
+        << "(f = predicted overlapped misses per cluster, Equations "
+           "1-4;\n MLP = measured mean outstanding L2 read misses "
+           "while >= 1)\n"
+        << table.render();
+    return out.str();
+}
+
+bool
+writeModelVsMeasuredJson(const std::string &path,
+                         const std::vector<std::string> &names,
+                         const std::vector<PairResult> &pairs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "{\n  \"apps\": [\n");
+    for (std::size_t a = 0; a < pairs.size(); ++a) {
+        std::fprintf(
+            f,
+            "    {\"app\": \"%s\", \"mlpBase\": %.6f, "
+            "\"mlpClust\": %.6f,\n     \"nests\": [",
+            names[a].c_str(), measuredMlp(pairs[a].base.result),
+            measuredMlp(pairs[a].clust.result));
+        const auto &nests = pairs[a].clust.report.nests;
+        for (std::size_t n = 0; n < nests.size(); ++n) {
+            const auto &nest = nests[n];
+            std::fprintf(
+                f,
+                "%s\n      {\"loop\": \"%s\", \"fBefore\": %.6f, "
+                "\"fAfter\": %.6f, \"unroll\": %d, "
+                "\"innerUnroll\": %d}",
+                n == 0 ? "" : ",", nest.loopVar.c_str(), nest.fBefore,
+                nest.fAfter, nest.unrollDegree, nest.innerUnrollDegree);
+        }
+        std::fprintf(f, "%s]}%s\n", nests.empty() ? "" : "\n     ",
+                     a + 1 < pairs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
 }
 
 std::string

@@ -30,14 +30,50 @@ scaleConfig(sys::SystemConfig config, const workloads::Workload &workload)
         if (const char *trace = std::getenv("MPC_VALIDATE_TRACE"))
             config.validateTracePath = trace;
     }
+
+    // Opt-in observability layer (src/obs): MPC_OBS=1 collects the
+    // MLP/cluster/stall metrics; MPC_TRACE=<path> dumps the ring-buffer
+    // Chrome trace at end of run (runWorkload uniquifies the path per
+    // run so parallel benches do not clobber each other).
+    if (const char *env = std::getenv("MPC_OBS");
+        env != nullptr && env[0] == '1')
+        config.obsMetrics = true;
+    if (const char *trace = std::getenv("MPC_TRACE");
+        trace != nullptr && trace[0] != '\0')
+        config.obsTracePath = trace;
     return config;
 }
+
+namespace
+{
+
+/** trace.json -> trace.<workload>.<base|clust>.<N>p.json */
+std::string
+uniquifyTracePath(const std::string &path, const std::string &workload,
+                  bool clustered, int procs)
+{
+    const std::string tag =
+        strprintf(".%s.%s.%dp", workload.c_str(),
+                  clustered ? "clust" : "base", std::max(procs, 1));
+    const auto dot = path.rfind('.');
+    const auto slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+} // namespace
 
 WorkloadRun
 runWorkload(const workloads::Workload &workload, const RunSpec &spec)
 {
     WorkloadRun out;
-    const sys::SystemConfig config = scaleConfig(spec.config, workload);
+    sys::SystemConfig config = scaleConfig(spec.config, workload);
+    if (!config.obsTracePath.empty())
+        config.obsTracePath =
+            uniquifyTracePath(config.obsTracePath, workload.name,
+                              spec.clustered, spec.procs);
 
     ir::Kernel kernel = workload.kernel.clone();
 

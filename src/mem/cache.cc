@@ -60,9 +60,11 @@ Cache::lineState(Addr addr) const
 }
 
 Cache::Status
-Cache::loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done)
+Cache::loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done,
+                  AccessInfo *info)
 {
-    return access(Kind::Load, addr, false, ref_id, std::move(done), {});
+    return access(Kind::Load, addr, false, ref_id, std::move(done), {},
+                  info);
 }
 
 Cache::Status
@@ -81,7 +83,8 @@ Cache::lineRequest(Addr line_addr, bool exclusive,
 
 Cache::Status
 Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
-              CompletionFn done, std::function<void()> on_fill)
+              CompletionFn done, std::function<void()> on_fill,
+              AccessInfo *info)
 {
     const Addr line_addr = lineOf(addr);
     const Tick now = eq_.now();
@@ -132,6 +135,7 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
     }
 
     // Miss (or upgrade). Coalesce into an existing MSHR if possible.
+    bool allocated = false;
     MshrFile::Id id = mshrs_.find(line_addr);
     if (id == MshrFile::invalidId) {
         if (mshrs_.full()) {
@@ -156,6 +160,7 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
             ++stats_.loadMisses;
         if (needs_upgrade || fetch_upgrade)
             ++stats_.upgrades;
+        allocated = true;
         issueDownstream(id);
     } else {
         if (exclusive && !mshrs_.exclusive(id) && coherent_ &&
@@ -181,6 +186,8 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
             ++stats_.writeCoalesced;
         else
             ++stats_.loadCoalesced;
+        if (info != nullptr)
+            info->coalesced = true;
     }
 
     MshrTarget target;
@@ -191,6 +198,14 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
     else
         target.onComplete = std::move(done);
     mshrs_.addTarget(now, id, std::move(target));
+    if (obs_ != nullptr) {
+        if (allocated)
+            obs_->missIssued(now, line_addr, is_load,
+                             mshrs_.readOccupancy(), mshrs_.occupancy());
+        else
+            obs_->missCoalesced(now, line_addr, is_load,
+                                mshrs_.readOccupancy(), mshrs_.occupancy());
+    }
     return Status::Ok;
 }
 
@@ -217,9 +232,10 @@ Cache::handleFill(MshrFile::Id id)
     const Addr line_addr = mshrs_.lineAddr(id);
     const bool exclusive = mshrs_.exclusive(id);
     const bool invalidate_on_fill = mshrs_.invalidateOnFill(id);
+    const bool had_read = mshrs_.hasRead(id);
+    const Tick alloc_tick = mshrs_.allocTick(id);
     ++stats_.fills;
-    stats_.missLatency.sample(
-        static_cast<double>(now - mshrs_.allocTick(id)));
+    stats_.missLatency.sample(static_cast<double>(now - alloc_tick));
 
     // Install (or upgrade) the line.
     Line *line = findLine(line_addr);
@@ -235,6 +251,9 @@ Cache::handleFill(MshrFile::Id id)
     }
 
     auto targets = mshrs_.deallocate(now, id);
+    if (obs_ != nullptr)
+        obs_->missFilled(now, line_addr, alloc_tick, had_read,
+                         mshrs_.readOccupancy(), mshrs_.occupancy());
     const Tick when = now + cfg_.fillLatency;
     for (auto &target : targets) {
         if (!target.isLoad && writeAllocate_) {

@@ -24,9 +24,18 @@
 #include "mem/config.hh"
 #include "mem/eventq.hh"
 #include "mem/mshr.hh"
+#include "obs/metrics.hh"
 
 namespace mpc::mem
 {
+
+/** Optional out-parameters describing how an access was handled. */
+struct AccessInfo
+{
+    /** The access merged into an MSHR already in flight for its line
+     *  (the run-time realization of a cache-line dependence). */
+    bool coalesced = false;
+};
 
 /** Coherence state of a resident line. */
 enum class LineState : std::uint8_t { Invalid, Shared, Modified };
@@ -109,9 +118,16 @@ class Cache
         backInvalidate_ = std::move(fn);
     }
 
+    /** Attach the observability miss tracker (not owned; null detaches).
+     *  Read-only with respect to simulated state: attaching never
+     *  changes results. Wired on the lowest level (the lp resource). */
+    void attachObs(obs::MissTracker *tracker) { obs_ = tracker; }
+
     // --- upper-side access ------------------------------------------
-    /** CPU or upper-cache load of one word at @p addr. */
-    Status loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done);
+    /** CPU or upper-cache load of one word at @p addr. @p info, when
+     *  non-null, reports how the access was handled. */
+    Status loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done,
+                      AccessInfo *info = nullptr);
 
     /** Write of one word at @p addr (write buffer drains into L2). */
     Status writeAccess(Addr addr, std::uint32_t ref_id, CompletionFn done);
@@ -180,7 +196,8 @@ class Cache
     /** Common access path. @p on_fill used for LineFetch kind. */
     Status access(Kind kind, Addr addr, bool exclusive,
                   std::uint32_t ref_id, CompletionFn done,
-                  std::function<void()> on_fill);
+                  std::function<void()> on_fill,
+                  AccessInfo *info = nullptr);
 
     /** Reserve an upper-side port this cycle; false if all busy. */
     bool reservePort();
@@ -206,6 +223,7 @@ class Cache
     bool coherent_;
     bool writeAllocate_;
     DownstreamPort *down_ = nullptr;
+    obs::MissTracker *obs_ = nullptr;
     std::function<void(Addr)> backInvalidate_;
 
     std::vector<std::vector<Line>> sets_;

@@ -31,9 +31,10 @@ MemHierarchy::setDownstream(DownstreamPort *down)
 }
 
 Cache::Status
-MemHierarchy::load(Addr addr, std::uint32_t ref_id, CompletionFn done)
+MemHierarchy::load(Addr addr, std::uint32_t ref_id, CompletionFn done,
+                   AccessInfo *info)
 {
-    return l1_->loadAccess(addr, ref_id, std::move(done));
+    return l1_->loadAccess(addr, ref_id, std::move(done), info);
 }
 
 Cache::Status

@@ -37,8 +37,10 @@ class MemHierarchy
     /** Wire the port below the lowest cache level (not owned). */
     void setDownstream(DownstreamPort *down);
 
-    /** CPU-side load. Completion carries the data-ready tick. */
-    Cache::Status load(Addr addr, std::uint32_t ref_id, CompletionFn done);
+    /** CPU-side load. Completion carries the data-ready tick. @p info,
+     *  when non-null, reports how the L1 handled the access. */
+    Cache::Status load(Addr addr, std::uint32_t ref_id, CompletionFn done,
+                       AccessInfo *info = nullptr);
 
     /** CPU-side store (issued from the processor write buffer). */
     Cache::Status store(Addr addr, std::uint32_t ref_id, CompletionFn done);
@@ -50,6 +52,10 @@ class MemHierarchy
     /** L2 in the two-level configuration; the single cache otherwise. */
     Cache &l2() { return *lowest_; }
     bool singleLevel() const { return singleLevel_; }
+
+    /** Attach the observability miss tracker to the lowest level (the
+     *  lp resource whose MSHR file bounds memory parallelism). */
+    void attachObs(obs::MissTracker *tracker) { lowest_->attachObs(tracker); }
 
     void finalizeStats(Tick now);
 

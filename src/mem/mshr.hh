@@ -136,6 +136,7 @@ class MshrFile
     bool exclusive(Id id) const { return entry(id).exclusive; }
     Addr lineAddr(Id id) const { return entry(id).lineAddr; }
     Tick allocTick(Id id) const { return entry(id).allocTick; }
+    bool hasRead(Id id) const { return entry(id).hasRead; }
 
     /** Downstream-request bookkeeping. */
     bool issued(Id id) const { return entry(id).issued; }

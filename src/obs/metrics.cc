@@ -1,0 +1,236 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mpc::obs
+{
+
+const char *
+stallWhyName(StallWhy why)
+{
+    static const char *const names[numStallWhy] = {
+        "stall.leader",      "stall.line-dep",  "stall.addr-dep",
+        "stall.mshr-full",   "stall.window-full", "stall.sync",
+        "stall.store",       "stall.cpu",       "stall.other",
+    };
+    return names[static_cast<int>(why)];
+}
+
+// --- MissTracker -----------------------------------------------------
+
+MissTracker::MissTracker(int node, int num_mshrs, Tracer *tracer)
+    : node_(node), tracer_(tracer), mlp_(num_mshrs)
+{
+    if (tracer_ != nullptr) {
+        tracer_->setTrackName(missTrackId(),
+                              strprintf("node %d misses", node));
+        tracer_->setTrackName(counterTrackId(),
+                              strprintf("node %d mshr", node));
+    }
+}
+
+void
+MissTracker::advance(Tick now, int reads, int total)
+{
+    MPC_ASSERT(now >= lastChange_, "obs time went backwards");
+    const Tick elapsed = now - lastChange_;
+    if (elapsed > 0)
+        mlp_.record(lastReads_, elapsed);
+    lastChange_ = now;
+
+    // Cluster bookkeeping: a cluster spans the interval with >= 1 read
+    // miss outstanding; its size is the number of read-miss arrivals.
+    if (reads > lastReads_) {
+        clusterArrivals_ += reads - lastReads_;
+    } else if (reads == 0 && lastReads_ > 0) {
+        clusters_.record(clusterArrivals_);
+        clusterArrivals_ = 0;
+    }
+
+    if (tracer_ != nullptr && (reads != lastReads_ || total != lastTotal_)) {
+        tracer_->counter(now, counterTrackId(), "mshr.read",
+                         static_cast<std::uint64_t>(reads));
+        tracer_->counter(now, counterTrackId(), "mshr.total",
+                         static_cast<std::uint64_t>(total));
+    }
+    lastReads_ = reads;
+    lastTotal_ = total;
+}
+
+void
+MissTracker::missIssued(Tick now, std::uint64_t line_addr, bool is_load,
+                        int read_occupancy, int total_occupancy)
+{
+    (void)line_addr;
+    (void)is_load;
+    advance(now, read_occupancy, total_occupancy);
+}
+
+void
+MissTracker::missCoalesced(Tick now, std::uint64_t line_addr,
+                           bool is_load, int read_occupancy,
+                           int total_occupancy)
+{
+    (void)line_addr;
+    (void)is_load;
+    // A load coalescing into a write-only entry raises read occupancy.
+    advance(now, read_occupancy, total_occupancy);
+}
+
+void
+MissTracker::missFilled(Tick now, std::uint64_t line_addr,
+                        Tick alloc_tick, bool had_read,
+                        int read_occupancy, int total_occupancy)
+{
+    advance(now, read_occupancy, total_occupancy);
+    if (tracer_ != nullptr)
+        tracer_->span(alloc_tick, now, missTrackId(),
+                      had_read ? "miss.read" : "miss.write", line_addr,
+                      static_cast<std::uint64_t>(node_));
+}
+
+void
+MissTracker::finalize(Tick now)
+{
+    advance(now, lastReads_, lastTotal_);
+    if (clusterArrivals_ > 0) {
+        // Open cluster at end of run (should not happen on clean runs;
+        // graceful watchdog stops can leave one).
+        clusters_.record(clusterArrivals_);
+        clusterArrivals_ = 0;
+    }
+}
+
+// --- CoreObs ---------------------------------------------------------
+
+CoreObs::CoreObs(int core_id, Tracer *tracer, MissTracker *tracker)
+    : coreId_(core_id), tracer_(tracer), tracker_(tracker)
+{
+    if (tracer_ != nullptr)
+        tracer_->setTrackName(core_id, strprintf("core %d", core_id));
+}
+
+void
+CoreObs::stallRange(Tick from, Tick to, StallWhy why, std::uint64_t slots)
+{
+    taxonomy_.add(why, slots);
+    if (tracer_ == nullptr)
+        return;
+    if (spanOpen_ && why == spanWhy_ && from <= spanEnd_) {
+        spanEnd_ = to;
+        return;
+    }
+    if (spanOpen_)
+        tracer_->span(spanStart_, spanEnd_, coreId_,
+                      stallWhyName(spanWhy_));
+    spanOpen_ = true;
+    spanStart_ = from;
+    spanEnd_ = to;
+    spanWhy_ = why;
+}
+
+void
+CoreObs::finalize(Tick now)
+{
+    (void)now;
+    if (spanOpen_ && tracer_ != nullptr)
+        tracer_->span(spanStart_, spanEnd_, coreId_,
+                      stallWhyName(spanWhy_));
+    spanOpen_ = false;
+}
+
+// --- RunMetrics ------------------------------------------------------
+
+std::string
+RunMetrics::toString() const
+{
+    std::ostringstream out;
+    out << strprintf("measured MLP (mean reads outstanding | >=1): %.3f\n",
+                     mlpMean());
+    out << strprintf("time with >=1 read miss outstanding: %s\n",
+                     fmtPercent(mlp.fracAtLeast(1)).c_str());
+    out << "MLP histogram (fraction of time at >= N outstanding reads):\n";
+    for (int level = 1; level <= mlp.maxLevel(); ++level) {
+        const double frac = mlp.fracAtLeast(level);
+        if (frac <= 0.0 && level > 1)
+            break;
+        out << strprintf("  >=%2d: %s\n", level,
+                         fmtPercent(frac).c_str());
+    }
+    out << strprintf("miss clusters: %llu (mean size %.2f)\n",
+                     static_cast<unsigned long long>(
+                         clusterSizes.total()),
+                     clusterSizes.mean());
+    for (int size = 1; size <= clusterSizes.maxRecorded(); ++size)
+        if (clusterSizes.countAt(size) > 0)
+            out << strprintf("  size %2d: %llu\n", size,
+                             static_cast<unsigned long long>(
+                                 clusterSizes.countAt(size)));
+    out << strprintf("stall taxonomy (%llu slots):\n",
+                     static_cast<unsigned long long>(stall.total()));
+    const std::uint64_t total = stall.total();
+    for (int i = 0; i < numStallWhy; ++i) {
+        const auto why = static_cast<StallWhy>(i);
+        if (stall.at(why) == 0)
+            continue;
+        out << strprintf(
+            "  %-18s %12llu  %s\n", stallWhyName(why),
+            static_cast<unsigned long long>(stall.at(why)),
+            fmtPercent(total > 0 ? static_cast<double>(stall.at(why)) /
+                                       static_cast<double>(total)
+                                 : 0.0)
+                .c_str());
+    }
+    return out.str();
+}
+
+std::string
+RunMetrics::toJson() const
+{
+    std::ostringstream out;
+    out << "{";
+    out << strprintf("\"mlpMean\": %.6f, ", mlpMean());
+    out << strprintf("\"fracAtLeastOneRead\": %.6f, ",
+                     mlp.fracAtLeast(1));
+    out << "\"mlpFracAtLeast\": [";
+    for (int level = 0; level <= mlp.maxLevel(); ++level)
+        out << strprintf("%s%.6f", level > 0 ? ", " : "",
+                         mlp.fracAtLeast(level));
+    out << "], \"clusterSizes\": {";
+    bool sep = false;
+    for (int size = 0; size <= clusterSizes.maxRecorded(); ++size) {
+        if (clusterSizes.countAt(size) == 0)
+            continue;
+        out << strprintf("%s\"%d\": %llu", sep ? ", " : "", size,
+                         static_cast<unsigned long long>(
+                             clusterSizes.countAt(size)));
+        sep = true;
+    }
+    out << strprintf("}, \"clusterMeanSize\": %.6f, ",
+                     clusterSizes.mean());
+    out << "\"stallSlots\": {";
+    for (int i = 0; i < numStallWhy; ++i) {
+        const auto why = static_cast<StallWhy>(i);
+        out << strprintf("%s\"%s\": %llu", i > 0 ? ", " : "",
+                         stallWhyName(why),
+                         static_cast<unsigned long long>(stall.at(why)));
+    }
+    out << "}, \"perRef\": {";
+    bool ref_sep = false;
+    for (const auto &[ref_id, r] : perRef) {
+        out << strprintf(
+            "%s\"%u\": {\"misses\": %llu, \"coalesced\": %llu, "
+            "\"meanLatency\": %.3f, \"meanOverlap\": %.3f}",
+            ref_sep ? ", " : "", ref_id,
+            static_cast<unsigned long long>(r.misses),
+            static_cast<unsigned long long>(r.coalesced),
+            r.latency.mean(), r.overlap.mean());
+        ref_sep = true;
+    }
+    out << "}}";
+    return out.str();
+}
+
+} // namespace mpc::obs

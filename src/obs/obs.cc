@@ -1,0 +1,40 @@
+#include "obs/obs.hh"
+
+namespace mpc::obs
+{
+
+RunMetrics
+Observer::collect() const
+{
+    RunMetrics out;
+    out.enabled = cfg_.metrics;
+    int max_mshrs = 0;
+    for (const auto &t : trackers_)
+        max_mshrs = std::max(max_mshrs, t->mlpHistogram().maxLevel());
+    out.mlp = OccupancyHistogram(max_mshrs);
+    for (const auto &t : trackers_) {
+        out.mlp.merge(t->mlpHistogram());
+        out.clusterSizes.merge(t->clusterSizes());
+    }
+    for (const auto &c : cores_) {
+        out.stall.merge(c->taxonomy());
+        for (const auto &[ref_id, r] : c->refStats()) {
+            RefMissStats &agg = out.perRef[ref_id];
+            agg.misses += r.misses;
+            agg.coalesced += r.coalesced;
+            agg.latency.merge(r.latency);
+            agg.overlap.merge(r.overlap);
+        }
+    }
+    return out;
+}
+
+bool
+Observer::dumpTrace(const std::string &path) const
+{
+    if (tracer_ == nullptr || path.empty())
+        return false;
+    return tracer_->dumpChromeJson(path);
+}
+
+} // namespace mpc::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mpc::obs
+{
+
+bool
+Tracer::dumpChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+
+    // Gather retained events oldest-first, then order by timestamp:
+    // spans enter the ring at completion time with ts = start, so ring
+    // order alone is not chronological.
+    const std::size_t n = size();
+    const std::uint64_t first = count_ - n;
+    std::vector<TraceEvent> events;
+    events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        events.push_back(ring_[(first + i) % ring_.size()]);
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts < b.ts;
+                     });
+
+    std::fputs("{\"traceEvents\":[\n", f);
+    bool sep = false;
+    for (const auto &[tid, name] : trackNames_) {
+        std::fprintf(f,
+                     "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     sep ? ",\n" : "", tid, name.c_str());
+        sep = true;
+    }
+    for (const TraceEvent &e : events) {
+        const char *name = e.name != nullptr ? e.name : "?";
+        switch (e.phase) {
+          case Instant:
+            std::fprintf(
+                f,
+                "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                "\"tid\":%d,\"ts\":%llu,"
+                "\"args\":{\"a0\":%llu,\"a1\":%llu}}",
+                sep ? ",\n" : "", name, e.tid,
+                static_cast<unsigned long long>(e.ts),
+                static_cast<unsigned long long>(e.a0),
+                static_cast<unsigned long long>(e.a1));
+            break;
+          case Span:
+            std::fprintf(
+                f,
+                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+                "\"ts\":%llu,\"dur\":%llu,"
+                "\"args\":{\"a0\":%llu,\"a1\":%llu}}",
+                sep ? ",\n" : "", name, e.tid,
+                static_cast<unsigned long long>(e.ts),
+                static_cast<unsigned long long>(e.dur),
+                static_cast<unsigned long long>(e.a0),
+                static_cast<unsigned long long>(e.a1));
+            break;
+          case Counter:
+            std::fprintf(
+                f,
+                "%s{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":%d,"
+                "\"ts\":%llu,\"args\":{\"value\":%llu}}",
+                sep ? ",\n" : "", name, e.tid,
+                static_cast<unsigned long long>(e.ts),
+                static_cast<unsigned long long>(e.a0));
+            break;
+          default:
+            continue;
+        }
+        sep = true;
+    }
+    std::fputs("\n]}\n", f);
+    return std::fclose(f) == 0;
+}
+
+} // namespace mpc::obs

@@ -72,6 +72,19 @@ struct SystemConfig
     Tick validateStallTimeout = 0;
     /** Override the structural-audit period (0 = library default). */
     Tick validateAuditPeriod = 0;
+
+    /**
+     * Opt-in observability layer (src/obs): MLP histogram, miss-cluster
+     * sizes, stall-cycle taxonomy, and per-reference miss attribution.
+     * Hooks read frozen state only, so enabling never changes results.
+     * Enabled by MPC_OBS=1 through the harness.
+     */
+    bool obsMetrics = false;
+    /** Dump the observability ring-buffer trace as Chrome-trace JSON
+     *  here at end of run (empty = tracing off). MPC_TRACE=<path>. */
+    std::string obsTracePath;
+    /** Ring capacity of the observability tracer (events retained). */
+    std::size_t obsTraceCapacity = 1 << 16;
 };
 
 /**

@@ -46,6 +46,16 @@ System::System(const SystemConfig &cfg,
 
     sync_ = std::make_unique<cpu::SyncDevice>(n);
 
+    // Observability: created when metrics or tracing are requested, or
+    // when the validation layer needs the shared tracer.
+    obs::ObsConfig ocfg;
+    ocfg.metrics = cfg_.obsMetrics;
+    ocfg.tracePath = cfg_.obsTracePath;
+    ocfg.trace = !cfg_.obsTracePath.empty() || cfg_.validate;
+    ocfg.traceCapacity = cfg_.obsTraceCapacity;
+    if (ocfg.metrics || ocfg.trace)
+        observer_ = std::make_unique<obs::Observer>(ocfg);
+
     // Interconnect + coherence for multiprocessors.
     noc::Transport *net = nullptr;
     if (n > 1) {
@@ -86,6 +96,20 @@ System::System(const SystemConfig &cfg,
             i, eq_, cfg_.core, programs_[static_cast<size_t>(i)], image_,
             *hiers_.back(), sync_.get()));
         cores_.back()->enableQuiescence(cfg_.skipAhead);
+
+        if (observer_) {
+            obs::MissTracker *tracker = observer_->attachNode(
+                i, hiers_.back()->l2().config().numMshrs);
+            hiers_.back()->attachObs(tracker);
+            cores_.back()->attachObs(observer_->attachCore(i, tracker));
+            if (obs::Tracer *tr = observer_->tracer()) {
+                tr->setTrackName(i, strprintf("core %d", i));
+                tr->setTrackName(tracker->missTrackId(),
+                                 strprintf("node %d misses", i));
+                tr->setTrackName(tracker->counterTrackId(),
+                                 strprintf("node %d mshr", i));
+            }
+        }
     }
 
     if (cfg_.validate) {
@@ -98,8 +122,11 @@ System::System(const SystemConfig &cfg,
         }
         if (cfg_.validateAuditPeriod > 0)
             vcfg.auditPeriod = cfg_.validateAuditPeriod;
-        validator_ =
-            std::make_unique<validate::Validator>(eq_, vcfg);
+        MPC_ASSERT(observer_ && observer_->tracer() != nullptr,
+                   "validation requires the observability tracer");
+        observer_->tracer()->setTrackName(-1, "validator");
+        validator_ = std::make_unique<validate::Validator>(
+            eq_, vcfg, *observer_->tracer());
         for (int i = 0; i < n; ++i)
             cores_[static_cast<size_t>(i)]->attachMonitor(
                 validator_->attachCore(
@@ -168,6 +195,8 @@ System::run(Tick max_cycles)
 
     if (validator_)
         validator_->finalize(eq_.now());
+    if (observer_)
+        observer_->finalize(eq_.now());
 
     // Collect results.
     RunResult res;
@@ -217,6 +246,13 @@ System::run(Tick max_cycles)
                 static_cast<double>(eq_.now()));
     if (fabric_)
         res.fabric = fabric_->stats();
+    if (observer_) {
+        res.obsMetrics = observer_->collect();
+        if (!cfg_.obsTracePath.empty() &&
+            !observer_->dumpTrace(cfg_.obsTracePath))
+            warn(strprintf("obs: could not write trace to %s",
+                           cfg_.obsTracePath.c_str()));
+    }
     return res;
 }
 

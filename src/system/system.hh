@@ -22,6 +22,7 @@
 #include "mem/hierarchy.hh"
 #include "mem/mainmem.hh"
 #include "noc/mesh.hh"
+#include "obs/obs.hh"
 #include "system/config.hh"
 #include "validate/validate.hh"
 
@@ -70,6 +71,9 @@ struct RunResult
     /** Per-core stats for detailed analysis. */
     std::vector<cpu::CoreStats> cores;
 
+    /** Observability metrics (enabled == SystemConfig::obsMetrics). */
+    obs::RunMetrics obsMetrics;
+
     double execNs() const { return static_cast<double>(cycles) * nsPerCycle; }
 };
 
@@ -107,6 +111,10 @@ class System
     /** The validation layer, or null unless SystemConfig::validate. */
     validate::Validator *validator() { return validator_.get(); }
 
+    /** The observability layer, or null unless metrics/tracing/
+     *  validation asked for it. */
+    obs::Observer *observer() { return observer_.get(); }
+
     /** Coherence fabric (null for uniprocessors); exposed for the
      *  validation fault-injection tests. */
     coherence::CoherenceFabric *fabric() { return fabric_.get(); }
@@ -127,6 +135,7 @@ class System
     std::vector<std::unique_ptr<mem::MainMemory>> memories_;
     std::vector<std::unique_ptr<mem::MemHierarchy>> hiers_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<obs::Observer> observer_;
     std::unique_ptr<validate::Validator> validator_;
 };
 

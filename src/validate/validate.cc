@@ -11,35 +11,6 @@ namespace mpc::validate
 
 using kisa::Op;
 
-// --- EventTrace ------------------------------------------------------
-
-bool
-EventTrace::dumpChromeJson(const std::string &path) const
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    std::fputs("{\"traceEvents\":[\n", f);
-    const std::size_t n = size();
-    const std::uint64_t first = count_ - n;
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceEvent &e = ring_[(first + i) % ring_.size()];
-        std::fprintf(
-            f,
-            "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
-            "\"tid\":%d,\"ts\":%llu,"
-            "\"args\":{\"a0\":%llu,\"a1\":%llu}}",
-            i == 0 ? "" : ",\n", e.name != nullptr ? e.name : "?",
-            static_cast<int>(e.core),
-            static_cast<unsigned long long>(e.tick),
-            static_cast<unsigned long long>(e.a0),
-            static_cast<unsigned long long>(e.a1));
-    }
-    std::fputs("\n]}\n", f);
-    const bool ok = std::fclose(f) == 0;
-    return ok;
-}
-
 // --- CoreValidator ---------------------------------------------------
 
 void

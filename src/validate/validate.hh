@@ -30,9 +30,10 @@
  *     with structured diagnostics (window dump, MSHR snapshots,
  *     directory state) and requests a graceful stop.
  *
- * A ring-buffer event trace records dispatch/retire/audit activity and
- * is exported as Chrome-trace JSON (chrome://tracing) on the first
- * failure, when a dump path is configured.
+ * Dispatch/retire/audit activity is recorded into the shared
+ * observability tracer (obs::Tracer, owned by the System's
+ * obs::Observer) and exported as Chrome-trace JSON (chrome://tracing)
+ * on the first failure, when a dump path is configured.
  */
 
 #ifndef MPC_VALIDATE_VALIDATE_HH
@@ -52,6 +53,7 @@
 #include "kisa/interp.hh"
 #include "mem/eventq.hh"
 #include "mem/hierarchy.hh"
+#include "obs/trace.hh"
 
 namespace mpc::validate
 {
@@ -68,61 +70,11 @@ struct ValidateConfig
     /** An MSHR outstanding this long will never fill (max observed real
      *  miss latency is tens of thousands of cycles). */
     Tick mshrTimeout = 2'000'000;
+    /** Capacity of the shared observability tracer the owning System
+     *  sizes for this validator. */
     std::size_t traceCapacity = 1 << 16;
     bool failFast = true;           ///< fatal() on the first failure
     std::string traceDumpPath;      ///< Chrome-trace JSON, dumped on failure
-};
-
-/** One recorded trace event (fixed-size; names must be static strings). */
-struct TraceEvent
-{
-    Tick tick = 0;
-    std::int16_t core = -1;
-    const char *name = nullptr;
-    std::uint64_t a0 = 0;
-    std::uint64_t a1 = 0;
-};
-
-/**
- * Bounded ring buffer of TraceEvents with Chrome-trace JSON export.
- * Recording is O(1) and allocation-free after construction.
- */
-class EventTrace
-{
-  public:
-    explicit EventTrace(std::size_t capacity)
-        : ring_(capacity > 0 ? capacity : 1)
-    {}
-
-    void
-    record(Tick tick, int core, const char *name, std::uint64_t a0 = 0,
-           std::uint64_t a1 = 0)
-    {
-        ring_[count_ % ring_.size()] =
-            {tick, static_cast<std::int16_t>(core), name, a0, a1};
-        ++count_;
-    }
-
-    /** Events currently retained (≤ capacity). */
-    std::size_t
-    size() const
-    {
-        return count_ < ring_.size() ? static_cast<std::size_t>(count_)
-                                     : ring_.size();
-    }
-
-    /** Events ever recorded (including overwritten ones). */
-    std::uint64_t recorded() const { return count_; }
-
-    /**
-     * Write retained events, oldest first, as a chrome://tracing JSON
-     * document (instant events; tid = core). @return false on I/O error.
-     */
-    bool dumpChromeJson(const std::string &path) const;
-
-  private:
-    std::vector<TraceEvent> ring_;
-    std::uint64_t count_ = 0;
 };
 
 class Validator;
@@ -183,8 +135,11 @@ class Validator
         std::string what;
     };
 
-    Validator(mem::EventQueue &eq, const ValidateConfig &cfg)
-        : eq_(eq), cfg_(cfg), trace_(cfg.traceCapacity)
+    /** @p trace Shared observability tracer (owned by the System's
+     *  obs::Observer; outlives the validator). */
+    Validator(mem::EventQueue &eq, const ValidateConfig &cfg,
+              obs::Tracer &trace)
+        : eq_(eq), cfg_(cfg), trace_(trace)
     {}
 
     // --- attach phase (before start()) -------------------------------
@@ -218,7 +173,7 @@ class Validator
 
     const std::vector<Failure> &failures() const { return failures_; }
     std::string report() const;
-    EventTrace &trace() { return trace_; }
+    obs::Tracer &trace() { return trace_; }
     const ValidateConfig &config() const { return cfg_; }
 
   private:
@@ -240,7 +195,7 @@ class Validator
 
     mem::EventQueue &eq_;
     ValidateConfig cfg_;
-    EventTrace trace_;
+    obs::Tracer &trace_;
 
     std::vector<cpu::Core *> cores_;
     std::vector<std::unique_ptr<CoreValidator>> coreValidators_;

@@ -104,6 +104,75 @@ TEST(OccupancyHistogram, Merge)
     EXPECT_DOUBLE_EQ(a.fracAtLeast(2), 0.5);
 }
 
+TEST(OccupancyHistogram, MeanLevelAtLeast)
+{
+    OccupancyHistogram h(10);
+    h.record(0, 100);
+    h.record(1, 20);
+    h.record(2, 90);
+    // Conditioned on >= 1: (20*1 + 90*2) / 110.
+    EXPECT_DOUBLE_EQ(h.meanLevelAtLeast(1), 200.0 / 110.0);
+    // Conditioned on >= 2: all remaining time is at level 2.
+    EXPECT_DOUBLE_EQ(h.meanLevelAtLeast(2), 2.0);
+    // Nothing at or above 3.
+    EXPECT_DOUBLE_EQ(h.meanLevelAtLeast(3), 0.0);
+    // Floor 0 is the plain time-weighted mean.
+    EXPECT_DOUBLE_EQ(h.meanLevelAtLeast(0), h.meanLevel());
+}
+
+TEST(OccupancyHistogram, MeanLevelAtLeastEmpty)
+{
+    OccupancyHistogram h(4);
+    EXPECT_DOUBLE_EQ(h.meanLevelAtLeast(1), 0.0);
+}
+
+TEST(CountHistogram, RecordAndQuery)
+{
+    CountHistogram h;
+    h.record(1);
+    h.record(2);
+    h.record(2);
+    h.record(5);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.maxRecorded(), 5);
+    EXPECT_EQ(h.countAt(1), 1u);
+    EXPECT_EQ(h.countAt(2), 2u);
+    EXPECT_EQ(h.countAt(3), 0u);
+    EXPECT_EQ(h.countAt(5), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0 / 4.0);
+    EXPECT_EQ(h.countAt(-1), 0u);
+    EXPECT_EQ(h.countAt(99), 0u);
+}
+
+TEST(CountHistogram, ClampsToMaxValueAndNegatives)
+{
+    CountHistogram h(3);
+    h.record(-5);   // clamps to 0
+    h.record(7);    // clamps to 3
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(3), 1u);
+    EXPECT_EQ(h.maxRecorded(), 3);
+}
+
+TEST(CountHistogram, Merge)
+{
+    CountHistogram a, b;
+    a.record(1);
+    b.record(1);
+    b.record(4);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.countAt(1), 2u);
+    EXPECT_EQ(a.countAt(4), 1u);
+
+    // Merging into a clamped histogram clamps the source values too.
+    CountHistogram c(2);
+    c.merge(b);
+    EXPECT_EQ(c.total(), 2u);
+    EXPECT_EQ(c.countAt(1), 1u);
+    EXPECT_EQ(c.countAt(2), 1u);
+}
+
 TEST(Rng, Deterministic)
 {
     Rng a(42), b(42);

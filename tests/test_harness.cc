@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "codegen/codegen.hh"
 #include "harness/parallel.hh"
 #include "harness/profiler.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "transform/driver.hh"
 #include "workloads/workload.hh"
@@ -247,6 +251,141 @@ TEST(ParallelRunner, MultipleFailuresReportFirstAndCount)
         EXPECT_NE(what.find("3 of 6 jobs failed"), std::string::npos)
             << what;
     }
+}
+
+TEST(ParallelRunner, ReportsPerJobWallTimes)
+{
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([i] {
+            if (i == 2)
+                throw std::runtime_error("fault");
+            // Measurable but tiny work.
+            volatile double x = 0;
+            for (int k = 0; k < 1000; ++k)
+                x = x + k;
+        });
+    std::vector<double> wall{99.0};     // stale content must be replaced
+    try {
+        ParallelRunner(2).run(jobs, {}, &wall);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &) {
+    }
+    ASSERT_EQ(wall.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 2)
+            EXPECT_EQ(wall[i], 0.0);    // failed job reports no time
+        else
+            EXPECT_GE(wall[i], 0.0);
+    }
+}
+
+namespace
+{
+
+/** A synthetic base/clust pair with known histograms and nest report. */
+PairResult
+syntheticPair()
+{
+    PairResult pair;
+    // Base: 100 ticks at 0, 100 at 1 -> MLP 1.0.
+    pair.base.result.l2ReadMshr = OccupancyHistogram(8);
+    pair.base.result.l2ReadMshr.record(0, 100);
+    pair.base.result.l2ReadMshr.record(1, 100);
+    pair.base.result.l2TotalMshr = pair.base.result.l2ReadMshr;
+    // Clust: 100 at 0, 50 at 1, 50 at 3 -> MLP (50+150)/100 = 2.0.
+    pair.clust.result.l2ReadMshr = OccupancyHistogram(8);
+    pair.clust.result.l2ReadMshr.record(0, 100);
+    pair.clust.result.l2ReadMshr.record(1, 50);
+    pair.clust.result.l2ReadMshr.record(3, 50);
+    pair.clust.result.l2TotalMshr = pair.clust.result.l2ReadMshr;
+    transform::NestReport nest;
+    nest.loopVar = "i";
+    nest.fBefore = 1.25;
+    nest.fAfter = 3.5;
+    nest.unrollDegree = 4;
+    nest.innerUnrollDegree = 1;
+    pair.clust.report.nests.push_back(nest);
+    return pair;
+}
+
+} // namespace
+
+TEST(Report, MeasuredMlpIsConditionalMeanOfReadMshrHistogram)
+{
+    const PairResult pair = syntheticPair();
+    EXPECT_DOUBLE_EQ(measuredMlp(pair.base.result), 1.0);
+    EXPECT_DOUBLE_EQ(measuredMlp(pair.clust.result), 2.0);
+}
+
+TEST(Report, ModelVsMeasuredTableShowsPredictedAndMeasured)
+{
+    const std::vector<std::string> names{"app"};
+    const std::vector<PairResult> pairs{syntheticPair()};
+    const std::string table =
+        formatModelVsMeasured(names, pairs, "model vs measured");
+    EXPECT_NE(table.find("model vs measured"), std::string::npos);
+    EXPECT_NE(table.find("app"), std::string::npos);
+    EXPECT_NE(table.find("1.25"), std::string::npos);    // f before
+    EXPECT_NE(table.find("3.50"), std::string::npos);    // f after
+    EXPECT_NE(table.find("1.00"), std::string::npos);    // MLP base
+    EXPECT_NE(table.find("2.00"), std::string::npos);    // MLP clust
+}
+
+TEST(Report, ModelVsMeasuredPlaceholderWhenNoNests)
+{
+    PairResult pair = syntheticPair();
+    pair.clust.report.nests.clear();
+    const std::string table =
+        formatModelVsMeasured({"app"}, {pair}, "t");
+    // Measured MLP still shows even when the driver reported no nests.
+    EXPECT_NE(table.find("2.00"), std::string::npos);
+}
+
+TEST(Report, ModelVsMeasuredJsonRoundTrips)
+{
+    const std::string path = "harness_test_mvm.json";
+    ASSERT_TRUE(
+        writeModelVsMeasuredJson(path, {"app"}, {syntheticPair()}));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+    EXPECT_NE(json.find("\"app\": \"app\""), std::string::npos);
+    EXPECT_NE(json.find("\"mlpBase\": 1.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"mlpClust\": 2.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"fBefore\": 1.250000"), std::string::npos);
+    EXPECT_NE(json.find("\"unroll\": 4"), std::string::npos);
+}
+
+TEST(Report, Fig4SeriesFeedsTableAndJsonFromOneSource)
+{
+    const PairResult pair = syntheticPair();
+    const std::vector<std::string> labels{"base", "clust"};
+    const std::vector<const sys::RunResult *> runs{&pair.base.result,
+                                                   &pair.clust.result};
+    const Fig4Series s = fig4Series(labels, runs);
+    ASSERT_EQ(s.fracRead.size(), 2u);
+    ASSERT_EQ(s.fracRead[0].size(),
+              static_cast<std::size_t>(s.maxLevel) + 1);
+    EXPECT_DOUBLE_EQ(s.fracRead[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(s.fracRead[0][1], 0.5);
+    EXPECT_DOUBLE_EQ(s.fracRead[1][3], 0.25);
+    // The text table renders the same numbers.
+    const std::string table = formatFig4(labels, runs, "fig4");
+    EXPECT_NE(table.find("0.500"), std::string::npos);
+    EXPECT_NE(table.find("0.250"), std::string::npos);
+
+    const std::string path = "harness_test_fig4.json";
+    ASSERT_TRUE(writeFig4Json(path, labels, runs));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+    EXPECT_NE(json.find("\"label\": \"clust\""), std::string::npos);
+    EXPECT_NE(json.find("\"fracAtLeastRead\""), std::string::npos);
 }
 
 TEST(PerRefStats, SimulatorTracksPerReferenceMisses)

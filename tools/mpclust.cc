@@ -18,7 +18,15 @@
  *   --show-kernel    print the (transformed) kernel IR
  *   --show-refs      per-reference L2 access/miss counts (clustered run)
  *   --show-mshr      print the Figure 4 style MSHR utilization
+ *   --show-metrics   collect and print the observability metrics
+ *                    (MLP histogram, cluster sizes, stall taxonomy)
+ *   --trace PATH     dump a Chrome-trace JSON per run (PATH is
+ *                    uniquified per workload/variant/procs)
  *   --list           list workloads and exit
+ *
+ * With both a base and a clustered run, also prints the model-vs-
+ * measured table: predicted per-nest f (Equations 1-4) next to the
+ * measured MLP of each run.
  */
 
 #include <cstdio>
@@ -45,7 +53,8 @@ usage(const char *argv0)
                  "[--config base|1ghz|exemplar]\n"
                  "       [--base-only|--clust-only] [--prefetch N] "
                  "[--max-unroll N]\n"
-                 "       [--show-kernel] [--show-mshr] | --list\n",
+                 "       [--show-kernel] [--show-mshr] "
+                 "[--show-metrics] [--trace PATH] | --list\n",
                  argv0);
     std::exit(2);
 }
@@ -93,6 +102,8 @@ main(int argc, char **argv)
     int prefetch = 0;
     int max_unroll = 16;
     bool show_kernel = false, show_mshr = false, show_refs = false;
+    bool show_metrics = false;
+    std::string trace_path;
 
     for (int a = 2; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -121,6 +132,10 @@ main(int argc, char **argv)
             show_refs = true;
         else if (arg == "--show-mshr")
             show_mshr = true;
+        else if (arg == "--show-metrics")
+            show_metrics = true;
+        else if (arg == "--trace")
+            trace_path = next();
         else
             usage(argv[0]);
     }
@@ -142,6 +157,8 @@ main(int argc, char **argv)
         usage(argv[0]);
     spec.procs = procs;
     spec.maxUnroll = max_unroll;
+    spec.config.obsMetrics = show_metrics;
+    spec.config.obsTracePath = trace_path;
 
     std::printf("workload %s  scale %d  procs %d  config %s\n\n",
                 name.c_str(), size.scale, procs, config_name.c_str());
@@ -151,11 +168,16 @@ main(int argc, char **argv)
         spec.clustered = false;
         base = harness::runWorkload(w, spec);
         printRun("base", base.result);
+        if (show_metrics)
+            std::printf("%s", base.result.obsMetrics.toString().c_str());
     }
     if (run_clust) {
         spec.clustered = true;
         clust = harness::runWorkload(w, spec);
         printRun("clust", clust.result);
+        if (show_metrics)
+            std::printf("%s",
+                        clust.result.obsMetrics.toString().c_str());
         std::printf("\n%s",
                     harness::formatDriverSummary(name, clust.report)
                         .c_str());
@@ -167,6 +189,13 @@ main(int argc, char **argv)
                     (1.0 - double(clust.result.cycles) /
                                double(base.result.cycles)) *
                         100.0);
+        harness::PairResult pair;
+        pair.base = base;
+        pair.clust = clust;
+        std::printf("\n%s",
+                    harness::formatModelVsMeasured(
+                        {name}, {pair}, "model vs measured")
+                        .c_str());
     }
     if (show_refs && run_clust) {
         std::printf("\nper-reference L2 behaviour (clustered run):\n");
