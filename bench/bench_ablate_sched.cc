@@ -11,6 +11,7 @@
 #include "bench_common.hh"
 
 #include "codegen/codegen.hh"
+#include "common/logging.hh"
 #include "harness/profiler.hh"
 #include "transform/driver.hh"
 
@@ -39,7 +40,14 @@ runVariant(const workloads::Workload &w, bool transform, bool schedule)
         params.missRate = [&profile](int id) {
             return profile.missRate(id);
         };
-        const auto report = transform::applyClustering(kernel, params);
+        // Through the pass factory, like the harness and mpclust.
+        transform::Pipeline pipeline;
+        std::string error;
+        if (!transform::Pipeline::parse(
+                transform::pipelineSpecFromParams(params), pipeline,
+                error))
+            fatal("bad pipeline spec: %s", error.c_str());
+        const auto report = pipeline.run(kernel, params);
         for (int id : report.leadingRefIds)
             leading.insert(static_cast<std::uint32_t>(id));
     }

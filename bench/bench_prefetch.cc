@@ -11,14 +11,24 @@
 #include "bench_common.hh"
 
 #include "codegen/codegen.hh"
+#include "common/logging.hh"
 #include "harness/profiler.hh"
 #include "transform/driver.hh"
-#include "transform/transforms.hh"
 
 namespace
 {
 
 using namespace mpc;
+
+transform::Pipeline
+parsePipeline(const std::string &spec)
+{
+    transform::Pipeline pipeline;
+    std::string error;
+    if (!transform::Pipeline::parse(spec, pipeline, error))
+        fatal("bad pipeline spec: %s", error.c_str());
+    return pipeline;
+}
 
 Tick
 runVariant(const workloads::Workload &w, bool cluster, bool prefetch,
@@ -41,12 +51,19 @@ runVariant(const workloads::Workload &w, bool cluster, bool prefetch,
         params.missRate = [&profile](int id) {
             return profile.missRate(id);
         };
-        const auto report = transform::applyClustering(kernel, params);
+        const auto report =
+            parsePipeline(transform::pipelineSpecFromParams(params))
+                .run(kernel, params);
         for (int id : report.leadingRefIds)
             leading.insert(static_cast<std::uint32_t>(id));
     }
-    if (prefetch)
-        transform::insertPrefetches(kernel, distance);
+    if (prefetch) {
+        // A second one-pass pipeline composed after the first: the
+        // clustered report (and its leading refs) stays authoritative.
+        transform::DriverParams prefetch_params;
+        prefetch_params.prefetchDistanceLines = distance;
+        (void)parsePipeline("prefetch").run(kernel, prefetch_params);
+    }
 
     auto programs = codegen::lowerForCores(kernel, 1, cluster, leading);
     kisa::MemoryImage image;

@@ -17,6 +17,7 @@
 
 #include "analysis/analysis.hh"
 #include "codegen/codegen.hh"
+#include "common/logging.hh"
 #include "kisa/interp.hh"
 #include "mem/eventq.hh"
 #include "system/system.hh"
@@ -161,10 +162,15 @@ benchCompiler(int reps)
 
     transform::DriverParams params;
     params.bodySize = codegen::loweredBodySize;
+    transform::Pipeline pipeline;
+    std::string error;
+    if (!transform::Pipeline::parse(
+            transform::pipelineSpecFromParams(params), pipeline, error))
+        fatal("bad pipeline spec: %s", error.c_str());
     t0 = clock_type::now();
     for (int r = 0; r < reps; ++r) {
         ir::Kernel kernel = w.kernel.clone();
-        (void)transform::applyClustering(kernel, params);
+        (void)pipeline.run(kernel, params);
     }
     record("compiler/cluster-driver", secondsSince(t0),
            static_cast<std::uint64_t>(reps));

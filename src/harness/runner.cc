@@ -3,6 +3,8 @@
 #include "codegen/codegen.hh"
 #include "transform/transforms.hh"
 #include "common/logging.hh"
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 
@@ -63,6 +65,37 @@ uniquifyTracePath(const std::string &path, const std::string &workload,
     return path.substr(0, dot) + tag + path.substr(dot);
 }
 
+/** Trace track id for the compiler-pass spans (cores use 0..N-1). */
+constexpr int kCompilerTrack = -2;
+
+/** Parse @p spec through the registry, fataling on a bad spec. */
+transform::Pipeline
+makePipeline(const std::string &spec, const workloads::Workload &workload,
+             const RunSpec &run_spec)
+{
+    transform::Pipeline pipeline;
+    std::string error;
+    if (!transform::Pipeline::parse(spec, pipeline, error))
+        fatal("invalid pipeline spec: %s", error.c_str());
+    // Give the verifier the workload's real memory initializer so the
+    // per-pass equivalence check (MPC_VERIFY_PASSES=1) interprets every
+    // kernel over real data instead of falling back to the synthetic
+    // fill (or, for pointer-chase kernels, structural checks only).
+    pipeline.initMemory = [&workload](kisa::MemoryImage &image) {
+        workload.init(image);
+    };
+    if (run_spec.dumpIr == "after-each-pass")
+        pipeline.afterPass = [](const std::string &pass,
+                                const ir::Kernel &kernel) {
+            std::printf("==== IR after pass '%s' ====\n%s",
+                        pass.c_str(), kernel.toString().c_str());
+        };
+    else if (!run_spec.dumpIr.empty())
+        fatal("unknown IR dump mode '%s' (expected 'after-each-pass')",
+              run_spec.dumpIr.c_str());
+    return pipeline;
+}
+
 } // namespace
 
 WorkloadRun
@@ -76,14 +109,23 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
                               spec.clustered, spec.procs);
 
     ir::Kernel kernel = workload.kernel.clone();
+    const bool transforming = spec.clustered || !spec.pipeline.empty();
 
     // Partition parallel loops per processor at the IR level before any
     // transformation, so unroll-and-jam operates on each processor's
-    // own range (balanced chunks, per-processor postludes).
-    if (spec.procs > 1)
-        transform::partitionParallelLoops(kernel);
+    // own range (balanced chunks, per-processor postludes). Partitioning
+    // is itself a registered pass run as a one-pass pipeline, so it gets
+    // the same per-pass verification as the main transformation.
+    std::vector<transform::PassReport> partition_passes;
+    if (spec.procs > 1) {
+        transform::Pipeline partition =
+            makePipeline("partition", workload, spec);
+        transform::DriverParams partition_params;
+        partition_passes =
+            std::move(partition.run(kernel, partition_params).passes);
+    }
 
-    if (spec.clustered) {
+    if (transforming) {
         // Profile P_m on the base uniprocessor binary with the target
         // cache geometry (Section 3.2.2: "measured through cache
         // simulation or profiling").
@@ -124,8 +166,20 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
                 return realized.accesses(ref_id);
             };
         }
-        out.report = transform::applyClustering(kernel, params);
+        const std::string spec_string =
+            spec.pipeline.empty()
+                ? transform::pipelineSpecFromParams(params)
+                : spec.pipeline;
+        transform::Pipeline pipeline =
+            makePipeline(spec_string, workload, spec);
+        out.report = pipeline.run(kernel, params);
     }
+    if (!partition_passes.empty())
+        out.report.passes.insert(out.report.passes.begin(),
+                                 std::make_move_iterator(
+                                     partition_passes.begin()),
+                                 std::make_move_iterator(
+                                     partition_passes.end()));
 
     out.kernelText = kernel.toString();
 
@@ -134,7 +188,7 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
     for (int ref_id : out.report.leadingRefIds)
         leading.insert(static_cast<std::uint32_t>(ref_id));
     auto programs = codegen::lowerForCores(kernel, procs,
-                                           spec.clustered, leading);
+                                           transforming, leading);
 
     kisa::MemoryImage image;
     workload.init(image);
@@ -145,6 +199,30 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
         workload.place(placement);
 
     sys::System system(config, std::move(programs), image, &placement);
+
+    // Replay the per-pass wall times as spans on a dedicated compiler
+    // track (microsecond pseudo-ticks starting at 0), so an MPC_TRACE
+    // timeline shows what the transformation pipeline did before the
+    // simulated execution. Names come from the registry so the tracer
+    // only ever sees process-lifetime strings.
+    if (obs::Observer *observer = system.observer()) {
+        if (obs::Tracer *tracer = observer->tracer();
+            tracer != nullptr && !out.report.passes.empty()) {
+            tracer->setTrackName(kCompilerTrack, "compiler passes");
+            Tick now = 0;
+            for (const auto &pass : out.report.passes) {
+                const Tick dur = std::max<Tick>(
+                    1, static_cast<Tick>(pass.wallMs * 1000.0));
+                tracer->span(now, now + dur, kCompilerTrack,
+                             transform::PassRegistry::instance()
+                                 .stableName(pass.pass),
+                             static_cast<std::uint64_t>(pass.actions),
+                             pass.skipped ? 1 : 0);
+                now += dur;
+            }
+        }
+    }
+
     out.result = system.run(spec.maxCycles);
     return out;
 }

@@ -26,13 +26,25 @@ struct RunSpec
     bool clustered = false;     ///< apply the driver + scheduler
     int maxUnroll = 16;         ///< U
     Tick maxCycles = Tick(1) << 36;
+
+    /**
+     * Transformation pipeline spec ("cluster,prefetch"); empty means
+     * the default driver pipeline when @ref clustered is set. A
+     * non-empty spec implies a transforming run even when @ref
+     * clustered is false.
+     */
+    std::string pipeline;
+
+    /** IR dump mode: "" (off) or "after-each-pass" (to stdout). */
+    std::string dumpIr;
 };
 
 /** One simulation run, plus what the compiler did to get there. */
 struct WorkloadRun
 {
     sys::RunResult result;
-    transform::DriverReport report;     ///< empty for base runs
+    /** No nests for base runs; passes may still list "partition". */
+    transform::DriverReport report;
     std::string kernelText;             ///< final (possibly transformed)
 };
 

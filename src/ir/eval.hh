@@ -36,6 +36,13 @@ class Evaluator
     /** Run the kernel body to completion. */
     void run();
 
+    /** Pre-seed an integer scalar before run() (e.g. __procid). */
+    void
+    setVar(const std::string &name, std::int64_t value)
+    {
+        vars_[name] = Value{.isFp = false, .i = value, .f = 0.0};
+    }
+
     /** Scalar values after run() (0 if never assigned). */
     std::int64_t intVar(const std::string &name) const;
     double fpVar(const std::string &name) const;

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structural verifier for IR kernels. Checks the invariants every
+ * transformation must preserve, so a broken pass is caught at the
+ * pass boundary instead of as a mysterious codegen or simulator
+ * failure three layers later:
+ *
+ *  - the statement tree is a tree (every Stmt owned exactly once, no
+ *    null statement or expression links, expected operand arity);
+ *  - loops are well formed (named index, bounds present, nonzero step)
+ *    and no loop shadows the index variable of an enclosing loop;
+ *  - every ArrayRef points at an array owned by the kernel and carries
+ *    exactly one subscript per dimension;
+ *  - every memory reference has an assigned refId (>= 0), and — when
+ *    @ref VerifyOptions::requireDenseRefIds is set, which the pass
+ *    pipeline does for its *input* kernel — the refIds are dense
+ *    (0..max with no gaps; transformations may later erase references,
+ *    so density is only an invariant of freshly assigned kernels).
+ *
+ * The verifier is pure and read-only; it never mutates the kernel.
+ */
+
+#ifndef MPC_IR_VERIFY_HH
+#define MPC_IR_VERIFY_HH
+
+#include <string>
+
+#include "ir/kernel.hh"
+
+namespace mpc::ir
+{
+
+struct VerifyOptions
+{
+    /** Require every memory reference to have refId >= 0 (set after
+     *  assignRefIds; the pass pipeline runs with this on). */
+    bool requireRefIds = true;
+
+    /** Additionally require refIds 0..max with no gaps (input kernels
+     *  straight out of assignRefIds). */
+    bool requireDenseRefIds = false;
+};
+
+/**
+ * Check the structural invariants of @p kernel. @return an empty
+ * string when the kernel is well formed, else a one-line description
+ * of the first violation found.
+ */
+std::string verify(const Kernel &kernel, const VerifyOptions &options = {});
+
+} // namespace mpc::ir
+
+#endif // MPC_IR_VERIFY_HH

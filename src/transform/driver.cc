@@ -1,418 +1,19 @@
 #include "transform/driver.hh"
 
-#include <cmath>
-
 #include "common/logging.hh"
-#include "transform/legality.hh"
-#include "transform/transforms.hh"
 
 namespace mpc::transform
 {
 
-using analysis::AnalysisParams;
-using analysis::LoopAnalysis;
-using analysis::NestPath;
-using ir::Kernel;
-using ir::Stmt;
-
-namespace
-{
-
-AnalysisParams
-toAnalysisParams(const DriverParams &params)
-{
-    AnalysisParams ap;
-    ap.windowSize = params.windowSize;
-    ap.lp = params.lp;
-    ap.lineBytes = params.lineBytes;
-    ap.bodySize = params.bodySize;
-    ap.missRate = params.missRate;
-    return ap;
-}
-
-/** Mark every loop in the subtree as processed. */
-void
-markLoops(Stmt &root)
-{
-    ir::walkStmts(root, [](Stmt &s) {
-        if (s.kind == Stmt::Kind::Loop || s.kind == Stmt::Kind::PtrLoop ||
-            s.kind == Stmt::Kind::While)
-            s.mark = 1;
-    });
-}
-
-/** Index of @p nest in preorder nest discovery (for clone mapping). */
-int
-nestIndex(Kernel &kernel, const NestPath &nest)
-{
-    auto nests = analysis::findLoopNests(kernel);
-    for (size_t i = 0; i < nests.size(); ++i)
-        if (nests[i].inner() == nest.inner())
-            return static_cast<int>(i);
-    return -1;
-}
-
-/**
- * Evaluate f after unroll-and-jamming nest @p idx of a clone of
- * @p kernel by @p u. Returns a negative value when the transformation
- * is not applicable.
- */
-double
-evaluateF(const Kernel &kernel, int idx, int levels_up, int u,
-          const AnalysisParams &ap)
-{
-    Kernel trial = kernel.clone();
-    auto nests = analysis::findLoopNests(trial);
-    if (idx < 0 || idx >= static_cast<int>(nests.size()))
-        return -1.0;
-    Stmt *outer = nests[static_cast<size_t>(idx)].outer(levels_up);
-    if (outer == nullptr)
-        return -1.0;
-    if (!unrollAndJam(trial, *outer, u, false))
-        return -1.0;
-    // The jammed innermost loop is the first nest inside `outer`.
-    auto new_nests = analysis::findLoopNests(trial);
-    for (const auto &nest : new_nests) {
-        for (const Stmt *loop : nest.loops) {
-            if (loop == outer) {
-                const LoopAnalysis la =
-                    analyzeInnerLoop(trial, nest, ap);
-                return la.f;
-            }
-        }
-    }
-    return -1.0;
-}
-
-/**
- * Scalars that replacement would eliminate after unroll-and-jamming
- * nest @p idx of a clone by @p u (cross-copy register reuse, the
- * secondary benefit the transformation was originally built for).
- * Returns 0 when the transformation is not applicable.
- */
-int
-evaluateScalars(const Kernel &kernel, int idx, int levels_up, int u)
-{
-    Kernel trial = kernel.clone();
-    auto nests = analysis::findLoopNests(trial);
-    if (idx < 0 || idx >= static_cast<int>(nests.size()))
-        return 0;
-    Stmt *outer = nests[static_cast<size_t>(idx)].outer(levels_up);
-    if (outer == nullptr || !unrollAndJam(trial, *outer, u, false))
-        return 0;
-    auto new_nests = analysis::findLoopNests(trial);
-    for (const auto &nest : new_nests) {
-        for (const Stmt *loop : nest.loops) {
-            if (loop == outer && nest.inner()->kind == Stmt::Kind::Loop)
-                return scalarReplace(trial, *nest.inner());
-        }
-    }
-    return 0;
-}
-
-/**
- * True when the run-matched profile shows EVERY leading regular
- * reference of the nest realizing markedly fewer misses than the
- * static one-per-L_m estimate the f model charges it — the situation
- * after partitioning where each processor's footprint fits its cache
- * and only sparse communication misses remain, which unroll-and-jam
- * cannot cluster. One stream still missing at its modeled rate is
- * enough to keep the jam: its copies do add real overlapped misses.
- * References the profile never saw count as fully realized.
- */
-bool
-missesUnderRealized(const LoopAnalysis &la, const DriverParams &params)
-{
-    if (!params.realizedMissRate || !params.realizedAccesses)
-        return false;
-    bool any_regular = false;
-    for (const auto &ref : la.refs) {
-        if (!ref.leading || !ref.regular || ref.refId < 0)
-            continue;
-        any_regular = true;
-        if (params.realizedAccesses(ref.refId) == 0)
-            return false;
-        const double static_rate =
-            1.0 / static_cast<double>(std::max<std::int64_t>(ref.lm, 1));
-        if (params.realizedMissRate(ref.refId) >=
-            params.minRealizedMissRatio * static_rate)
-            return false;
-    }
-    return any_regular;
-}
-
-} // namespace
-
-std::string
-NestReport::toString() const
-{
-    std::string out = strprintf(
-        "loop %-8s alpha=%.2f%s f: %.1f -> %.1f  uaj=%d  inner=%d  "
-        "scalars=%d  fused=%d",
-        loopVar.c_str(), alpha, addressRecurrence ? " (addr)" : "",
-        fBefore, fAfter, unrollDegree, innerUnrollDegree,
-        scalarsReplaced, fusedLoops);
-    if (!note.empty())
-        out += "  [" + note + "]";
-    return out;
-}
-
-std::string
-DriverReport::toString() const
-{
-    std::string out;
-    for (const auto &nest : nests)
-        out += nest.toString() + "\n";
-    return out;
-}
-
 DriverReport
-applyClustering(Kernel &kernel, const DriverParams &params)
+applyClustering(ir::Kernel &kernel, const DriverParams &params)
 {
-    ir::assignRefIds(kernel);
-    const AnalysisParams ap = toAnalysisParams(params);
-    DriverReport report;
-
-    for (;;) {
-        // Pick the first unprocessed innermost loop.
-        auto nests = analysis::findLoopNests(kernel);
-        NestPath *nest = nullptr;
-        for (auto &candidate : nests) {
-            if (candidate.inner()->mark == 0) {
-                nest = &candidate;
-                break;
-            }
-        }
-        if (nest == nullptr)
-            break;
-
-        NestReport nr;
-        nr.loopVar = nest->inner()->var.empty() ? "(while)"
-                                                : nest->inner()->var;
-        const LoopAnalysis before = analyzeInnerLoop(kernel, *nest, ap);
-        nr.alpha = before.alpha;
-        nr.addressRecurrence = before.hasAddressRecurrence;
-        nr.fBefore = before.f;
-        nr.fAfter = before.f;
-
-        // Target parallelism: alpha * lp per Section 3.2.2 (each
-        // recurrence bounds utilization); lp when no recurrence bounds
-        // the loop.
-        const double target =
-            before.recurrences.empty()
-                ? static_cast<double>(params.lp)
-                : std::ceil(before.alpha * params.lp - 1e-9);
-
-        bool any_leading_read = false;
-        for (const auto &ref : before.refs)
-            any_leading_read |= ref.leading && !ref.isWrite;
-
-        Stmt *outer = nest->outer();
-
-        // ------------------------------------------------------------
-        // Section 6 extension: a singly-nested loop with unmet
-        // parallelism has no outer loop to unroll-and-jam, but fusing
-        // adjacent sibling loops adds independent leading references
-        // per iteration. Fuse while legal and below the target.
-        // ------------------------------------------------------------
-        if (outer == nullptr && before.f + 0.5 <= target) {
-            Stmt *inner = nest->inner();
-            double f_now = before.f;
-            while (f_now + 0.5 <= target) {
-                auto [owner, pos] = findOwner(kernel, inner);
-                if (pos + 1 >= owner->size())
-                    break;
-                Stmt *next = (*owner)[pos + 1].get();
-                bool next_has_nest = false;
-                ir::walkStmts(*next, [&](Stmt &s) {
-                    next_has_nest |= &s != next &&
-                                     (s.kind == Stmt::Kind::Loop ||
-                                      s.kind == Stmt::Kind::PtrLoop ||
-                                      s.kind == Stmt::Kind::While);
-                });
-                if (next->kind != Stmt::Kind::Loop || next_has_nest)
-                    break;
-                if (!fuseLoops(kernel, *inner, *next))
-                    break;
-                ++nr.fusedLoops;
-                NestPath fused_path;
-                fused_path.loops.push_back(inner);
-                f_now = analyzeInnerLoop(kernel, fused_path, ap).f;
-            }
-            if (nr.fusedLoops > 0)
-                nr.note = "fused " + std::to_string(nr.fusedLoops) +
-                          " sibling loop(s)";
-        }
-
-        const int idx = nestIndex(kernel, *nest);
-
-        // ------------------------------------------------------------
-        // Unroll-and-jam (Section 3.2.2): binary-search the largest
-        // degree u with f(u) <= target. Skipped when the loop already
-        // meets the target, when only write misses would be added, or
-        // when no legal outer loop exists.
-        // ------------------------------------------------------------
-        int chosen = 1;
-        if (any_leading_read && before.f + 0.5 <= target) {
-            // Try the immediate parent first, then its parent: deeper
-            // nests may only gain parallelism from a higher loop (the
-            // generalized multi-loop search of Carr & Kennedy that
-            // Section 3.2.2 defers to).
-            for (int levels_up = 1; levels_up <= 2 && chosen == 1;
-                 ++levels_up) {
-                Stmt *candidate = nest->outer(levels_up);
-                if (candidate == nullptr ||
-                    candidate->kind != Stmt::Kind::Loop ||
-                    !canUnrollAndJam(*candidate))
-                    continue;
-                int lo = 1, hi = params.maxUnroll;
-                while (lo < hi) {
-                    const int mid = (lo + hi + 1) / 2;
-                    const double f_mid =
-                        evaluateF(kernel, idx, levels_up, mid, ap);
-                    if (f_mid >= 0.0 && f_mid <= target + 1e-9)
-                        lo = mid;
-                    else
-                        hi = mid - 1;
-                }
-                // Unrolling a loop whose index does not appear in the
-                // subscripts (e.g. a time loop) leaves f unchanged:
-                // the copies coalesce into the same spatial groups.
-                // Only transform when memory parallelism grows.
-                if (lo > 1 && evaluateF(kernel, idx, levels_up, lo,
-                                        ap) > before.f + 0.5)
-                    chosen = lo;
-                // The modeled rise must also be realizable: when the
-                // run-matched profile shows the leading streams mostly
-                // hitting (per-processor footprint fits after
-                // partitioning), the extra copies add misses only on
-                // paper, and unless they at least enable cross-copy
-                // register reuse the jam is pure code expansion —
-                // refuse it (DESIGN.md section 5).
-                if (chosen > 1 && missesUnderRealized(before, params) &&
-                    evaluateScalars(kernel, idx, levels_up, chosen) ==
-                        0) {
-                    chosen = 1;
-                    nr.note = "refused: profiled misses below modeled";
-                }
-                if (chosen > 1) {
-                    outer = candidate;
-                    auto [owner, pos] = findOwner(kernel, outer);
-                    const size_t size_before = owner->size();
-                    const bool ok = unrollAndJam(
-                        kernel, *outer, chosen,
-                        params.enablePostludeInterchange);
-                    MPC_ASSERT(ok,
-                               "unroll-and-jam failed after legality "
-                               "and trial both passed");
-                    nr.unrollDegree = chosen;
-                    if (levels_up > 1)
-                        nr.note = "jammed " +
-                                  std::to_string(levels_up) +
-                                  " levels up";
-                    if (owner->size() > size_before)
-                        markLoops(*(*owner)[pos + 1]);  // postlude
-                }
-            }
-        } else if (outer == nullptr && nr.fusedLoops == 0) {
-            nr.note = "no outer loop, no fusable sibling";
-        }
-
-        // Locate the (possibly new) innermost loop for the later
-        // passes: first nest inside `outer` after the transform, or
-        // the original inner loop.
-        auto find_inner = [&]() -> NestPath {
-            auto found = analysis::findLoopNests(kernel);
-            if (chosen > 1 && outer != nullptr) {
-                for (auto &candidate : found) {
-                    for (const Stmt *loop : candidate.loops)
-                        if (loop == outer)
-                            return candidate;
-                }
-            }
-            for (auto &candidate : found)
-                if (candidate.inner()->mark == 0)
-                    return candidate;
-            panic("processed loop vanished");
-        };
-
-        // ------------------------------------------------------------
-        // Scalar replacement on the jammed body.
-        // ------------------------------------------------------------
-        if (params.enableScalarReplacement) {
-            NestPath current = find_inner();
-            if (current.inner()->kind == Stmt::Kind::Loop)
-                nr.scalarsReplaced =
-                    scalarReplace(kernel, *current.inner());
-        }
-
-        // ------------------------------------------------------------
-        // Window constraints (Section 3.3): with no recurrence and too
-        // few independent misses per window span, inner-unroll to give
-        // the clustering-aware scheduler misses to pack together.
-        // ------------------------------------------------------------
-        {
-            NestPath current = find_inner();
-            LoopAnalysis after = analyzeInnerLoop(kernel, current, ap);
-            // Expected misses per iteration: a loop that almost never
-            // misses gains nothing from miss-exposing unrolling (it
-            // would only pay code expansion), so require a meaningful
-            // miss density first.
-            double miss_density = 0.0;
-            for (const auto &ref : after.refs) {
-                if (!ref.leading)
-                    continue;
-                if (ref.regular)
-                    miss_density +=
-                        1.0 / static_cast<double>(
-                                  std::max<std::int64_t>(ref.lm, 1));
-                else
-                    miss_density += params.missRate
-                                        ? params.missRate(ref.refId)
-                                        : 1.0;
-            }
-            if (params.enableInnerUnroll && after.recurrences.empty() &&
-                after.f + 0.5 <= target && after.numLeading() > 0 &&
-                miss_density >= 0.5 &&
-                current.inner()->kind == Stmt::Kind::Loop) {
-                const int factor = std::min<int>(
-                    params.maxInnerUnroll,
-                    static_cast<int>(std::ceil(
-                        target / std::max(after.f, 1.0))));
-                if (factor > 1) {
-                    auto [owner, pos] =
-                        findOwner(kernel, current.inner());
-                    const size_t size_before = owner->size();
-                    if (innerUnroll(kernel, *current.inner(), factor)) {
-                        nr.innerUnrollDegree = factor;
-                        if (owner->size() > size_before)
-                            markLoops(*(*owner)[pos + 1]);  // remainder
-                    }
-                }
-            }
-            NestPath final_nest = find_inner();
-            const LoopAnalysis final_la =
-                analyzeInnerLoop(kernel, final_nest, ap);
-            nr.fAfter = final_la.f;
-            for (const auto &ref : final_la.refs)
-                if (ref.leading && ref.refId >= 0)
-                    report.leadingRefIds.push_back(ref.refId);
-        }
-
-        // Mark the whole transformed region (jammed loops, epilogues)
-        // as processed.
-        if (outer != nullptr && chosen > 1)
-            markLoops(*outer);
-        else
-            markLoops(*find_inner().inner());
-
-        report.nests.push_back(std::move(nr));
-    }
-
-    // Clear markers so the driver can be re-run if desired.
-    for (auto &stmt : kernel.body)
-        ir::walkStmts(*stmt, [](Stmt &s) { s.mark = 0; });
-    return report;
+    Pipeline pipeline;
+    std::string error;
+    const bool ok = Pipeline::parse(pipelineSpecFromParams(params),
+                                    pipeline, error);
+    MPC_ASSERT(ok, error.c_str());
+    return pipeline.run(kernel, params);
 }
 
 } // namespace mpc::transform

@@ -16,89 +16,23 @@
  *     static misses per window span, inner-unroll to expose more
  *     independent misses to the clustering-aware scheduler.
  *
- * The driver is deliberately restricted to information the analysis
- * provides: leading references, recurrences, W, i, L_m, P_m, and lp.
+ * The algorithm now lives in the pass pipeline (pipeline.hh): each
+ * step above is a registered pass, and applyClustering() simply runs
+ * the default pipeline honoring the DriverParams enable* flags. The
+ * pipeline reproduces the old monolithic driver's kernels and reports
+ * bit-identically; DriverReport is an alias of PipelineReport.
  */
 
 #ifndef MPC_TRANSFORM_DRIVER_HH
 #define MPC_TRANSFORM_DRIVER_HH
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "analysis/analysis.hh"
-#include "ir/kernel.hh"
+#include "transform/pipeline.hh"
 
 namespace mpc::transform
 {
 
-struct DriverParams
-{
-    int lp = 10;                ///< simultaneous outstanding misses
-    int windowSize = 64;        ///< W
-    int lineBytes = 64;
-    int maxUnroll = 16;         ///< U: code-expansion bound
-
-    /** Lowered-instruction-count estimator (wire the codegen one). */
-    std::function<int(const ir::Kernel &, const ir::Stmt &)> bodySize;
-    /** Profiled miss rate per refId for irregular references. */
-    std::function<double(int)> missRate;
-    /**
-     * Run-matched (multiprocessor) profile: per-refId miss rate and
-     * access count measured on the partitioned per-core programs with
-     * per-core caches and write-invalidation. Null on uniprocessor
-     * runs. Partitioning shrinks each processor's footprint, so a
-     * regular reference's static miss-every-L_m-iterations estimate
-     * can stop holding: the remaining misses are sparse communication
-     * misses that unroll-and-jam cannot cluster. The driver uses these
-     * to refuse a jam whose modeled f rise would not be realized
-     * (DESIGN.md section 5) and which enables no register reuse.
-     */
-    std::function<double(int)> realizedMissRate;
-    std::function<std::uint64_t(int)> realizedAccesses;
-    /**
-     * Refuse unroll-and-jam (unless it enables scalar replacement)
-     * when the profiled misses of the nest's leading regular
-     * references fall below this fraction of the static estimate.
-     */
-    double minRealizedMissRatio = 0.75;
-
-    bool enableScalarReplacement = true;
-    bool enablePostludeInterchange = true;
-    bool enableInnerUnroll = true;
-    int maxInnerUnroll = 8;
-};
-
-/** What the driver did to one loop nest. */
-struct NestReport
-{
-    std::string loopVar;
-    double alpha = 0.0;
-    bool addressRecurrence = false;
-    double fBefore = 0.0;
-    double fAfter = 0.0;
-    int unrollDegree = 1;       ///< chosen unroll-and-jam factor
-    int innerUnrollDegree = 1;
-    int fusedLoops = 0;         ///< sibling loops fused (Section 6)
-    int scalarsReplaced = 0;
-    bool postludeInterchanged = false;
-    std::string note;
-
-    std::string toString() const;
-};
-
-struct DriverReport
-{
-    std::vector<NestReport> nests;
-
-    /** refIds of leading references in the final transformed kernel
-     *  (for the codegen scheduler's miss-first packing). */
-    std::vector<int> leadingRefIds;
-
-    std::string toString() const;
-};
+/** Superseded by PipelineReport (same shape; kept for callers). */
+using DriverReport = PipelineReport;
 
 /** Apply the clustering algorithm to every loop nest of @p kernel. */
 DriverReport applyClustering(ir::Kernel &kernel,

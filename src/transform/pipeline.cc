@@ -1,0 +1,808 @@
+#include "transform/pipeline.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "common/logging.hh"
+#include "ir/eval.hh"
+#include "ir/verify.hh"
+
+namespace mpc::transform
+{
+
+using analysis::AnalysisParams;
+using ir::Kernel;
+using ir::Stmt;
+
+AnalysisParams
+toAnalysisParams(const DriverParams &params)
+{
+    AnalysisParams ap;
+    ap.windowSize = params.windowSize;
+    ap.lp = params.lp;
+    ap.lineBytes = params.lineBytes;
+    ap.bodySize = params.bodySize;
+    ap.missRate = params.missRate;
+    return ap;
+}
+
+std::vector<analysis::NestPath>
+liveNests(Kernel &kernel)
+{
+    auto nests = analysis::findLoopNests(kernel);
+    std::vector<analysis::NestPath> live;
+    for (auto &nest : nests)
+        if (nest.inner()->mark == 0)
+            live.push_back(std::move(nest));
+    return live;
+}
+
+// --- reports ---------------------------------------------------------
+
+std::string
+NestReport::toString() const
+{
+    std::string out = strprintf(
+        "loop %-8s alpha=%.2f%s f: %.1f -> %.1f  uaj=%d  inner=%d  "
+        "scalars=%d  fused=%d",
+        loopVar.c_str(), alpha, addressRecurrence ? " (addr)" : "",
+        fBefore, fAfter, unrollDegree, innerUnrollDegree,
+        scalarsReplaced, fusedLoops);
+    if (!note.empty())
+        out += "  [" + note + "]";
+    return out;
+}
+
+std::string
+PassReport::toString() const
+{
+    std::string out = strprintf("pass %-20s %8.3f ms  actions=%d",
+                                pass.c_str(), wallMs, actions);
+    if (skipped)
+        out += "  [skipped]";
+    if (!detail.empty())
+        out += "  " + detail;
+    return out;
+}
+
+std::string
+PipelineReport::toString() const
+{
+    std::string out;
+    for (const auto &nest : nests)
+        out += nest.toString() + "\n";
+    return out;
+}
+
+// --- JSON ------------------------------------------------------------
+
+namespace
+{
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonNum(double v)
+{
+    // %.17g round-trips IEEE doubles exactly.
+    std::string s = strprintf("%.17g", v);
+    if (s.find_first_of(".eEn") == std::string::npos)
+        s += ".0";  // keep a float-looking literal
+    return s;
+}
+
+/** Minimal JSON value + recursive-descent parser (accepts exactly the
+ *  subset toJson() emits, plus whitespace). */
+struct JsonValue
+{
+    enum class T { Null, Bool, Num, Str, Arr, Obj };
+    T t = T::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue *
+    field(const std::string &name) const
+    {
+        const auto it = obj.find(name);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+struct JsonParser
+{
+    const std::string &s;
+    size_t i = 0;
+    bool ok = true;
+
+    void skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
+                                s[i] == '\t' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        JsonValue v;
+        skipWs();
+        if (!ok || i >= s.size()) {
+            ok = false;
+            return v;
+        }
+        const char c = s[i];
+        if (c == '{') {
+            ++i;
+            v.t = JsonValue::T::Obj;
+            skipWs();
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return v;
+            }
+            for (;;) {
+                JsonValue key = parseValue();
+                if (!ok || key.t != JsonValue::T::Str || !consume(':')) {
+                    ok = false;
+                    return v;
+                }
+                v.obj[key.str] = parseValue();
+                if (!ok)
+                    return v;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                consume('}');
+                return v;
+            }
+        } else if (c == '[') {
+            ++i;
+            v.t = JsonValue::T::Arr;
+            skipWs();
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return v;
+            }
+            for (;;) {
+                v.arr.push_back(parseValue());
+                if (!ok)
+                    return v;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                consume(']');
+                return v;
+            }
+        } else if (c == '"') {
+            ++i;
+            v.t = JsonValue::T::Str;
+            while (i < s.size() && s[i] != '"') {
+                if (s[i] == '\\' && i + 1 < s.size()) {
+                    ++i;
+                    switch (s[i]) {
+                      case 'n': v.str += '\n'; break;
+                      case 't': v.str += '\t'; break;
+                      case 'u':
+                        if (i + 4 < s.size()) {
+                            v.str += static_cast<char>(
+                                std::strtol(s.substr(i + 1, 4).c_str(),
+                                            nullptr, 16));
+                            i += 4;
+                        } else {
+                            ok = false;
+                        }
+                        break;
+                      default: v.str += s[i]; break;
+                    }
+                    ++i;
+                } else {
+                    v.str += s[i++];
+                }
+            }
+            if (!consume('"'))
+                ok = false;
+            return v;
+        } else if (c == 't' || c == 'f') {
+            const std::string word = c == 't' ? "true" : "false";
+            if (s.compare(i, word.size(), word) == 0) {
+                v.t = JsonValue::T::Bool;
+                v.b = c == 't';
+                i += word.size();
+            } else {
+                ok = false;
+            }
+            return v;
+        } else {
+            char *end = nullptr;
+            v.t = JsonValue::T::Num;
+            v.num = std::strtod(s.c_str() + i, &end);
+            if (end == s.c_str() + i)
+                ok = false;
+            else
+                i = static_cast<size_t>(end - s.c_str());
+            return v;
+        }
+    }
+};
+
+double
+numField(const JsonValue &v, const std::string &name, double dflt = 0.0)
+{
+    const JsonValue *f = v.field(name);
+    return f != nullptr && f->t == JsonValue::T::Num ? f->num : dflt;
+}
+
+std::string
+strField(const JsonValue &v, const std::string &name)
+{
+    const JsonValue *f = v.field(name);
+    return f != nullptr && f->t == JsonValue::T::Str ? f->str
+                                                     : std::string();
+}
+
+bool
+boolField(const JsonValue &v, const std::string &name)
+{
+    const JsonValue *f = v.field(name);
+    return f != nullptr && f->t == JsonValue::T::Bool && f->b;
+}
+
+} // namespace
+
+std::string
+PipelineReport::toJson() const
+{
+    std::string out = "{\n  \"nests\": [";
+    for (size_t i = 0; i < nests.size(); ++i) {
+        const NestReport &nr = nests[i];
+        out += i > 0 ? ",\n    {" : "\n    {";
+        out += "\"loopVar\": ";
+        jsonEscape(out, nr.loopVar);
+        out += ", \"alpha\": " + jsonNum(nr.alpha);
+        out += ", \"addressRecurrence\": ";
+        out += nr.addressRecurrence ? "true" : "false";
+        out += ", \"fBefore\": " + jsonNum(nr.fBefore);
+        out += ", \"fAfter\": " + jsonNum(nr.fAfter);
+        out += strprintf(", \"unrollDegree\": %d", nr.unrollDegree);
+        out += strprintf(", \"innerUnrollDegree\": %d",
+                         nr.innerUnrollDegree);
+        out += strprintf(", \"fusedLoops\": %d", nr.fusedLoops);
+        out += strprintf(", \"scalarsReplaced\": %d", nr.scalarsReplaced);
+        out += ", \"postludeInterchanged\": ";
+        out += nr.postludeInterchanged ? "true" : "false";
+        out += ", \"note\": ";
+        jsonEscape(out, nr.note);
+        out += "}";
+    }
+    out += nests.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"leadingRefIds\": [";
+    for (size_t i = 0; i < leadingRefIds.size(); ++i)
+        out += strprintf(i > 0 ? ", %d" : "%d", leadingRefIds[i]);
+    out += "],\n  \"passes\": [";
+    for (size_t i = 0; i < passes.size(); ++i) {
+        const PassReport &pr = passes[i];
+        out += i > 0 ? ",\n    {" : "\n    {";
+        out += "\"pass\": ";
+        jsonEscape(out, pr.pass);
+        out += ", \"wallMs\": " + jsonNum(pr.wallMs);
+        out += strprintf(", \"actions\": %d", pr.actions);
+        out += ", \"skipped\": ";
+        out += pr.skipped ? "true" : "false";
+        out += ", \"detail\": ";
+        jsonEscape(out, pr.detail);
+        out += "}";
+    }
+    out += passes.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"verifyFailures\": [";
+    for (size_t i = 0; i < verifyFailures.size(); ++i) {
+        out += i > 0 ? ",\n    {" : "\n    {";
+        out += "\"pass\": ";
+        jsonEscape(out, verifyFailures[i].pass);
+        out += ", \"what\": ";
+        jsonEscape(out, verifyFailures[i].what);
+        out += "}";
+    }
+    out += verifyFailures.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+bool
+PipelineReport::fromJson(const std::string &json, PipelineReport &out)
+{
+    JsonParser parser{json};
+    const JsonValue root = parser.parseValue();
+    if (!parser.ok || root.t != JsonValue::T::Obj)
+        return false;
+    out = PipelineReport();
+    if (const JsonValue *nests = root.field("nests");
+        nests != nullptr && nests->t == JsonValue::T::Arr) {
+        for (const JsonValue &v : nests->arr) {
+            if (v.t != JsonValue::T::Obj)
+                return false;
+            NestReport nr;
+            nr.loopVar = strField(v, "loopVar");
+            nr.alpha = numField(v, "alpha");
+            nr.addressRecurrence = boolField(v, "addressRecurrence");
+            nr.fBefore = numField(v, "fBefore");
+            nr.fAfter = numField(v, "fAfter");
+            nr.unrollDegree =
+                static_cast<int>(numField(v, "unrollDegree", 1));
+            nr.innerUnrollDegree =
+                static_cast<int>(numField(v, "innerUnrollDegree", 1));
+            nr.fusedLoops = static_cast<int>(numField(v, "fusedLoops"));
+            nr.scalarsReplaced =
+                static_cast<int>(numField(v, "scalarsReplaced"));
+            nr.postludeInterchanged =
+                boolField(v, "postludeInterchanged");
+            nr.note = strField(v, "note");
+            out.nests.push_back(std::move(nr));
+        }
+    }
+    if (const JsonValue *ids = root.field("leadingRefIds");
+        ids != nullptr && ids->t == JsonValue::T::Arr) {
+        for (const JsonValue &v : ids->arr)
+            out.leadingRefIds.push_back(static_cast<int>(v.num));
+    }
+    if (const JsonValue *passes = root.field("passes");
+        passes != nullptr && passes->t == JsonValue::T::Arr) {
+        for (const JsonValue &v : passes->arr) {
+            if (v.t != JsonValue::T::Obj)
+                return false;
+            PassReport pr;
+            pr.pass = strField(v, "pass");
+            pr.wallMs = numField(v, "wallMs");
+            pr.actions = static_cast<int>(numField(v, "actions"));
+            pr.skipped = boolField(v, "skipped");
+            pr.detail = strField(v, "detail");
+            out.passes.push_back(std::move(pr));
+        }
+    }
+    if (const JsonValue *fails = root.field("verifyFailures");
+        fails != nullptr && fails->t == JsonValue::T::Arr) {
+        for (const JsonValue &v : fails->arr)
+            out.verifyFailures.push_back(
+                {strField(v, "pass"), strField(v, "what")});
+    }
+    return true;
+}
+
+// --- rows ------------------------------------------------------------
+
+RowState &
+PassContext::rowAt(std::size_t k, ir::Kernel &kernel,
+                   const analysis::NestPath &nest)
+{
+    MPC_ASSERT(k <= rows.size(), "pass cursor skipped a live nest");
+    if (k == rows.size()) {
+        RowState row;
+        row.before = analysis::analyzeInnerLoop(kernel, nest, ap);
+        NestReport &nr = row.report;
+        nr.loopVar = nest.inner()->var.empty() ? "(while)"
+                                               : nest.inner()->var;
+        nr.alpha = row.before.alpha;
+        nr.addressRecurrence = row.before.hasAddressRecurrence;
+        nr.fBefore = row.before.f;
+        nr.fAfter = row.before.f;
+        // Target parallelism: alpha * lp per Section 3.2.2 (each
+        // recurrence bounds utilization); lp when no recurrence bounds
+        // the loop.
+        row.target = row.before.recurrences.empty()
+                         ? static_cast<double>(params.lp)
+                         : std::ceil(row.before.alpha * params.lp - 1e-9);
+        for (const auto &ref : row.before.refs)
+            row.anyLeadingRead |= ref.leading && !ref.isWrite;
+        rows.push_back(std::move(row));
+    }
+    return rows[k];
+}
+
+// --- registry --------------------------------------------------------
+
+PassRegistry &
+PassRegistry::instance()
+{
+    static PassRegistry *registry = [] {
+        auto *r = new PassRegistry;
+        registerBuiltinPasses(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+PassRegistry::add(std::unique_ptr<Pass> pass)
+{
+    const std::string name = pass->name();
+    MPC_ASSERT(passes_.find(name) == passes_.end(),
+               "duplicate pass registration");
+    passes_[name] = std::move(pass);
+}
+
+bool
+PassRegistry::has(const std::string &name) const
+{
+    return passes_.find(name) != passes_.end();
+}
+
+Pass *
+PassRegistry::find(const std::string &name) const
+{
+    const auto it = passes_.find(name);
+    return it == passes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+PassRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, pass] : passes_)
+        out.push_back(name);
+    return out;
+}
+
+const char *
+PassRegistry::stableName(const std::string &name) const
+{
+    const Pass *pass = find(name);
+    return pass != nullptr ? pass->name() : "unknown-pass";
+}
+
+// --- pipeline specs --------------------------------------------------
+
+std::string
+defaultPipelineSpec()
+{
+    return "fuse,cluster,postlude-interchange,scalar-replace,"
+           "inner-unroll";
+}
+
+std::string
+pipelineSpecFromParams(const DriverParams &params)
+{
+    std::string spec = "fuse,cluster";
+    if (params.enablePostludeInterchange)
+        spec += ",postlude-interchange";
+    if (params.enableScalarReplacement)
+        spec += ",scalar-replace";
+    if (params.enableInnerUnroll)
+        spec += ",inner-unroll";
+    return spec;
+}
+
+bool
+Pipeline::parse(const std::string &spec, Pipeline &out,
+                std::string &error)
+{
+    out.passes_.clear();
+    error.clear();
+
+    std::vector<std::string> names;
+    std::string cur;
+    const auto flush = [&] {
+        // Trim surrounding whitespace.
+        size_t b = 0, e = cur.size();
+        while (b < e && (cur[b] == ' ' || cur[b] == '\t'))
+            ++b;
+        while (e > b && (cur[e - 1] == ' ' || cur[e - 1] == '\t'))
+            --e;
+        names.push_back(cur.substr(b, e - b));
+        cur.clear();
+    };
+    for (const char c : spec) {
+        if (c == ',')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    if (names.size() == 1 && names[0].empty()) {
+        error = "empty pipeline spec";
+        return false;
+    }
+
+    const PassRegistry &registry = PassRegistry::instance();
+    std::set<std::string> seen;
+    for (const std::string &name : names) {
+        if (name.empty()) {
+            error = "empty pass name in spec '" + spec + "'";
+            return false;
+        }
+        Pass *pass = registry.find(name);
+        if (pass == nullptr) {
+            error = "unknown pass '" + name + "'; known passes:";
+            for (const std::string &known : registry.names())
+                error += " " + known;
+            return false;
+        }
+        if (!seen.insert(name).second) {
+            error = "duplicate pass '" + name + "' in spec '" + spec +
+                    "'";
+            return false;
+        }
+        out.passes_.push_back(pass);
+    }
+    return true;
+}
+
+std::vector<std::string>
+Pipeline::passNames() const
+{
+    std::vector<std::string> out;
+    for (const Pass *pass : passes_)
+        out.push_back(pass->name());
+    return out;
+}
+
+// --- verification ----------------------------------------------------
+
+namespace
+{
+
+void
+collectSubscriptVars(const ir::Expr &expr, std::set<std::string> &out)
+{
+    if (expr.kind == ir::Expr::Kind::VarRef)
+        out.insert(expr.var);
+    for (const auto &child : expr.children)
+        collectSubscriptVars(*child, out);
+}
+
+/**
+ * Can this kernel be evaluated on synthetically filled memory without
+ * tripping the evaluator's bounds checks? Conservative: counted loops
+ * only, and every variable appearing in an array subscript is a loop
+ * index (so subscripts stay within the statically declared ranges the
+ * kernel was written for). Kernels using pointer chasing or
+ * scalar-computed subscripts need a real memory initializer
+ * (Pipeline::initMemory) for the equivalence check.
+ */
+bool
+syntheticallyEvaluable(const Kernel &kernel)
+{
+    bool ok = true;
+    std::set<std::string> loop_vars;
+    for (const auto &stmt : kernel.body) {
+        ir::walkStmts(*stmt, [&](const Stmt &s) {
+            if (s.kind == Stmt::Kind::PtrLoop ||
+                s.kind == Stmt::Kind::While)
+                ok = false;
+            else if (s.kind == Stmt::Kind::Loop)
+                loop_vars.insert(s.var);
+        });
+    }
+    if (!ok)
+        return false;
+    std::set<std::string> sub_vars;
+    for (const auto &stmt : kernel.body) {
+        ir::walkExprs(*stmt, [&](const ir::Expr &e) {
+            if (e.kind == ir::Expr::Kind::Deref)
+                ok = false;
+            if (e.kind == ir::Expr::Kind::ArrayRef)
+                for (const auto &sub : e.children)
+                    collectSubscriptVars(*sub, sub_vars);
+        });
+    }
+    if (!ok)
+        return false;
+    for (const std::string &var : sub_vars)
+        if (loop_vars.find(var) == loop_vars.end())
+            return false;
+    return true;
+}
+
+/** Deterministic, varied fill of all F64 arrays; I64 arrays stay zero
+ *  (zero is the safe value for anything used as an index or pointer). */
+void
+syntheticFill(const Kernel &kernel, kisa::MemoryImage &mem)
+{
+    int array_index = 0;
+    for (const auto &array : kernel.arrays) {
+        if (array.elem == ir::ScalType::F64) {
+            const std::int64_t n = array.numElems();
+            for (std::int64_t i = 0; i < n; ++i) {
+                const double v =
+                    0.5 +
+                    static_cast<double>((i * 37 + array_index * 101) %
+                                        251) /
+                        251.0;
+                mem.stF64(array.base + static_cast<Addr>(i) * 8, v);
+            }
+        }
+        ++array_index;
+    }
+}
+
+/** Clone, lay out (if needed), initialize memory, interpret, digest. */
+std::uint64_t
+evalChecksum(const Kernel &kernel,
+             const std::function<void(kisa::MemoryImage &)> &init)
+{
+    Kernel clone = kernel.clone();
+    bool laid_out = false;
+    for (const auto &array : clone.arrays)
+        laid_out |= array.base != 0;
+    if (!laid_out && !clone.arrays.empty())
+        ir::layoutArrays(clone);
+    kisa::MemoryImage mem;
+    if (init)
+        init(mem);
+    else
+        syntheticFill(clone, mem);
+    ir::Evaluator eval(clone, mem);
+    // Single-processor semantics: partitioned kernels compute their
+    // block from these (and would divide by zero unseeded).
+    eval.setVar("__procid", 0);
+    eval.setVar("__nprocs", 1);
+    eval.run();
+    return ir::checksumArrays(clone, mem);
+}
+
+/** Record or dump-and-panic a verification failure. */
+void
+failVerify(VerifyMode mode, const std::string &pass,
+           const std::string &what, const Kernel &kernel,
+           PipelineReport &report)
+{
+    if (mode == VerifyMode::Record) {
+        report.verifyFailures.push_back({pass, what});
+        return;
+    }
+    const char *dump_env = std::getenv("MPC_VERIFY_DUMP");
+    const std::string path =
+        dump_env != nullptr && *dump_env != '\0' ? dump_env
+                                                 : "verify_ir_dump.txt";
+    std::ofstream out(path);
+    out << "pass: " << pass << "\n"
+        << "error: " << what << "\n\n"
+        << kernel.toString();
+    out.close();
+    panic("pipeline verification failed after pass '%s': %s "
+          "(IR dumped to %s)",
+          pass.c_str(), what.c_str(), path.c_str());
+}
+
+} // namespace
+
+// --- execution -------------------------------------------------------
+
+PipelineReport
+Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
+{
+    ir::assignRefIds(kernel);
+    PipelineReport report;
+    PassContext ctx(params, toAnalysisParams(params));
+    ctx.scheduledPasses = passNames();
+
+    VerifyMode mode = verifyMode;
+    if (mode == VerifyMode::FromEnv) {
+        const char *env = std::getenv("MPC_VERIFY_PASSES");
+        mode = env != nullptr && std::string(env) == "1"
+                   ? VerifyMode::Panic
+                   : VerifyMode::Off;
+    }
+
+    bool can_eval = false;
+    std::uint64_t ref_checksum = 0;
+    if (mode != VerifyMode::Off) {
+        const std::string err = ir::verify(kernel);
+        if (!err.empty())
+            failVerify(mode, "(input)", err, kernel, report);
+        if (report.verifyFailures.empty()) {
+            can_eval = static_cast<bool>(initMemory) ||
+                       syntheticallyEvaluable(kernel);
+            if (can_eval)
+                ref_checksum = evalChecksum(kernel, initMemory);
+        }
+    }
+
+    if (report.verifyFailures.empty()) {
+        for (Pass *pass : passes_) {
+            PassReport pr;
+            pr.pass = pass->name();
+            const auto t0 = std::chrono::steady_clock::now();
+            if (!pass->applicable(kernel, ctx))
+                pr.skipped = true;
+            else
+                pass->run(kernel, ctx, pr);
+            pr.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const bool skipped = pr.skipped;
+            report.passes.push_back(std::move(pr));
+            if (afterPass)
+                afterPass(pass->name(), kernel);
+            if (mode != VerifyMode::Off && !skipped) {
+                // Transformations may materialize new references
+                // (e.g. the pointer-chase jam's chain loads) that
+                // only get refIds on the next assignRefIds, so the
+                // post-pass check is structural only on that front.
+                ir::VerifyOptions opts;
+                opts.requireRefIds = false;
+                std::string err = ir::verify(kernel, opts);
+                if (err.empty() && can_eval) {
+                    const std::uint64_t sum =
+                        evalChecksum(kernel, initMemory);
+                    if (sum != ref_checksum)
+                        err = strprintf(
+                            "functional equivalence check failed: "
+                            "array checksum %016llx != pre-pipeline "
+                            "%016llx",
+                            static_cast<unsigned long long>(sum),
+                            static_cast<unsigned long long>(
+                                ref_checksum));
+                }
+                if (!err.empty()) {
+                    failVerify(mode, pass->name(), err, kernel, report);
+                    break;  // Record mode: abort remaining passes.
+                }
+            }
+        }
+    }
+
+    if (report.verifyFailures.empty()) {
+        // Finalize: post-transformation f and the leading refIds of
+        // every row's final nest, in row order (exactly what the old
+        // driver computed at the end of each episode).
+        if (!ctx.rows.empty()) {
+            auto live = liveNests(kernel);
+            for (size_t k = 0; k < ctx.rows.size() && k < live.size();
+                 ++k) {
+                const analysis::LoopAnalysis final_la =
+                    analysis::analyzeInnerLoop(kernel, live[k], ctx.ap);
+                ctx.rows[k].report.fAfter = final_la.f;
+                for (const auto &ref : final_la.refs)
+                    if (ref.leading && ref.refId >= 0)
+                        report.leadingRefIds.push_back(ref.refId);
+            }
+        }
+        for (auto &row : ctx.rows)
+            report.nests.push_back(std::move(row.report));
+
+        // Clear markers so the pipeline can be re-run if desired.
+        for (auto &stmt : kernel.body)
+            ir::walkStmts(*stmt, [](Stmt &s) { s.mark = 0; });
+    }
+    return report;
+}
+
+} // namespace mpc::transform

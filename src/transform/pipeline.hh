@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The pass pipeline: a named, data-driven sequence of transformation
+ * passes (pass.hh) with optional per-pass verification.
+ *
+ * Pipelines are specified as comma-separated pass names resolved
+ * through the string-keyed PassRegistry ("fuse,cluster,prefetch"), so
+ * the harness, the benches, and `mpclust --pipeline=<spec>` all select
+ * transformation variants through one factory. The default spec
+ * reproduces the old applyClustering driver exactly.
+ *
+ * Verification (MPC_VERIFY_PASSES=1, or VerifyMode set explicitly):
+ * after every pass the pipeline runs the ir::verify() structural
+ * checker and — when the kernel is evaluable — a functional
+ * equivalence check against the pre-pipeline kernel: the kernel is
+ * cloned, memory is initialized (through Pipeline::initMemory or a
+ * deterministic synthetic fill), the reference interpreter runs it,
+ * and the array checksum must match the pre-pipeline checksum. Since
+ * every pass must be semantics-preserving, comparing each post-pass
+ * checksum to the pipeline-input checksum names the first failing
+ * pass. On failure the offending IR is dumped (MPC_VERIFY_DUMP, or
+ * verify_ir_dump.txt) and the run panics naming the pass.
+ */
+
+#ifndef MPC_TRANSFORM_PIPELINE_HH
+#define MPC_TRANSFORM_PIPELINE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kisa/memimage.hh"
+#include "transform/pass.hh"
+
+namespace mpc::transform
+{
+
+/**
+ * Global name -> pass table. Passes register once (at first use) and
+ * live for the process; Pipeline holds borrowed pointers into it.
+ */
+class PassRegistry
+{
+  public:
+    static PassRegistry &instance();
+
+    void add(std::unique_ptr<Pass> pass);
+    bool has(const std::string &name) const;
+    Pass *find(const std::string &name) const;
+    std::vector<std::string> names() const;
+
+    /**
+     * The registered pass's name() with process-lifetime storage —
+     * safe to hand to the obs tracer, which keeps event-name pointers.
+     */
+    const char *stableName(const std::string &name) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Pass>> passes_;
+};
+
+/** Registers the built-in clustering passes (defined in passes.cc). */
+void registerBuiltinPasses(PassRegistry &registry);
+
+/** Post-pass checking policy. */
+enum class VerifyMode
+{
+    FromEnv,    ///< MPC_VERIFY_PASSES=1 ? Panic : Off
+    Off,
+    Panic,      ///< dump the offending IR and panic naming the pass
+    Record,     ///< record the failure, abort remaining passes
+};
+
+class Pipeline
+{
+  public:
+    /**
+     * Resolve a comma-separated pass spec ("fuse,cluster,prefetch")
+     * against the registry. Rejects an empty spec, unknown names, and
+     * duplicates. @return false with @p error set on failure.
+     */
+    static bool parse(const std::string &spec, Pipeline &out,
+                      std::string &error);
+
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Run the passes in order; @return the accumulated report.
+     * Assigns refIds first and clears loop marks afterwards, like the
+     * old driver.
+     */
+    PipelineReport run(ir::Kernel &kernel,
+                       const DriverParams &params) const;
+
+    VerifyMode verifyMode = VerifyMode::FromEnv;
+
+    /**
+     * Memory initializer for the equivalence check (e.g. the
+     * workload's real init). When absent, a deterministic synthetic
+     * fill is used for kernels simple enough to evaluate blindly;
+     * other kernels get the structural check only.
+     */
+    std::function<void(kisa::MemoryImage &)> initMemory;
+
+    /** Called after every pass (e.g. mpclust --dump-ir). */
+    std::function<void(const std::string &pass, const ir::Kernel &)>
+        afterPass;
+
+  private:
+    std::vector<Pass *> passes_;
+};
+
+/** The spec reproducing the old applyClustering driver. */
+std::string defaultPipelineSpec();
+
+/**
+ * The default spec with the passes gated by the old DriverParams
+ * enable* flags removed when disabled (how applyClustering honors
+ * them).
+ */
+std::string pipelineSpecFromParams(const DriverParams &params);
+
+} // namespace mpc::transform
+
+#endif // MPC_TRANSFORM_PIPELINE_HH

@@ -682,6 +682,64 @@ TEST(Fusion, RefusesDifferentSteps)
     EXPECT_FALSE(fuseLoops(x, *x.body[0], *x.body[1]));
 }
 
+TEST(Fusion, RefusesMismatchedHeaders)
+{
+    // Same step, but the trip counts differ (0..40 vs 0..39): the
+    // fused loop would drop the first loop's last iteration.
+    Kernel base = twinSweeps();
+    Kernel x = base.clone();
+    x.body[1]->hi = iconst(39);
+    EXPECT_FALSE(fuseLoops(x, *x.body[0], *x.body[1]));
+}
+
+TEST(Fusion, RefusesWriteAfterReadPositiveDelta)
+{
+    // First loop reads B[i], second loop writes B[i + 1]. Originally
+    // every read sees the old value; fused, iteration i overwrites
+    // B[i + 1] before iteration i + 1 reads it: must refuse.
+    Kernel k;
+    k.name = "war";
+    Array *a = k.addArray("A", ScalType::F64, {44});
+    Array *b = k.addArray("B", ScalType::F64, {44});
+    std::vector<StmtPtr> b1;
+    b1.push_back(assign(aref(a, subs1(varref("i"))),
+                        aref(b, subs1(varref("i")))));
+    k.body.push_back(forLoop("i", iconst(0), iconst(40),
+                             std::move(b1)));
+    std::vector<StmtPtr> b2;
+    b2.push_back(assign(
+        aref(b, subs1(add(varref("i2"), iconst(1)))), fconst(3.0)));
+    k.body.push_back(forLoop("i2", iconst(0), iconst(40),
+                             std::move(b2)));
+    assignRefIds(k);
+    layoutArrays(k);
+    EXPECT_FALSE(fuseLoops(k, *k.body[0], *k.body[1]));
+}
+
+TEST(Fusion, RefusesUnanalyzableSubscripts)
+{
+    // The second loop reads B through an index array: no linear form,
+    // so the dependence test cannot bound the distance: must refuse.
+    Kernel k;
+    k.name = "indirect";
+    Array *b = k.addArray("B", ScalType::F64, {44});
+    Array *c = k.addArray("C", ScalType::F64, {44});
+    Array *idx = k.addArray("IDX", ScalType::I64, {44});
+    std::vector<StmtPtr> b1;
+    b1.push_back(assign(aref(b, subs1(varref("i"))), fconst(2.0)));
+    k.body.push_back(forLoop("i", iconst(0), iconst(40),
+                             std::move(b1)));
+    std::vector<StmtPtr> b2;
+    b2.push_back(assign(
+        aref(c, subs1(varref("i2"))),
+        aref(b, subs1(aref(idx, subs1(varref("i2")))))));
+    k.body.push_back(forLoop("i2", iconst(0), iconst(40),
+                             std::move(b2)));
+    assignRefIds(k);
+    layoutArrays(k);
+    EXPECT_FALSE(fuseLoops(k, *k.body[0], *k.body[1]));
+}
+
 TEST(Fusion, DriverFusesUnnestedLoops)
 {
     // Section 6: no outer loop to unroll-and-jam, but a fusable

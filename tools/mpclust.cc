@@ -15,6 +15,11 @@
  *   --clust-only     run only the clustered version
  *   --prefetch N     also insert software prefetches N lines ahead
  *   --max-unroll N   cap the unroll-and-jam degree (default 16)
+ *   --pipeline SPEC  transform with a custom pass pipeline (comma-
+ *                    separated pass names, e.g. "cluster,prefetch")
+ *                    instead of the default driver pipeline
+ *   --dump-ir MODE   dump the IR ("after-each-pass") while transforming
+ *   --list-passes    list the registered passes and exit
  *   --show-kernel    print the (transformed) kernel IR
  *   --show-refs      per-reference L2 access/miss counts (clustered run)
  *   --show-mshr      print the Figure 4 style MSHR utilization
@@ -37,6 +42,7 @@
 #include "codegen/codegen.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "transform/pipeline.hh"
 #include "transform/transforms.hh"
 #include "workloads/workload.hh"
 
@@ -53,8 +59,10 @@ usage(const char *argv0)
                  "[--config base|1ghz|exemplar]\n"
                  "       [--base-only|--clust-only] [--prefetch N] "
                  "[--max-unroll N]\n"
+                 "       [--pipeline SPEC] [--dump-ir after-each-pass]\n"
                  "       [--show-kernel] [--show-mshr] "
-                 "[--show-metrics] [--trace PATH] | --list\n",
+                 "[--show-metrics] [--trace PATH]\n"
+                 "       | --list | --list-passes\n",
                  argv0);
     std::exit(2);
 }
@@ -85,6 +93,12 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         usage(argv[0]);
+    if (std::strcmp(argv[1], "--list-passes") == 0) {
+        for (const auto &pass :
+             transform::PassRegistry::instance().names())
+            std::printf("%s\n", pass.c_str());
+        return 0;
+    }
     if (std::strcmp(argv[1], "--list") == 0) {
         workloads::SizeParams size;
         std::printf("latbench\n");
@@ -104,6 +118,8 @@ main(int argc, char **argv)
     bool show_kernel = false, show_mshr = false, show_refs = false;
     bool show_metrics = false;
     std::string trace_path;
+    std::string pipeline_spec;
+    std::string dump_ir;
 
     for (int a = 2; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -136,8 +152,23 @@ main(int argc, char **argv)
             show_metrics = true;
         else if (arg == "--trace")
             trace_path = next();
+        else if (arg == "--pipeline")
+            pipeline_spec = next();
+        else if (arg == "--dump-ir")
+            dump_ir = next();
         else
             usage(argv[0]);
+    }
+
+    if (!pipeline_spec.empty()) {
+        // Validate eagerly for a clean CLI error before any run.
+        transform::Pipeline parsed;
+        std::string error;
+        if (!transform::Pipeline::parse(pipeline_spec, parsed, error)) {
+            std::fprintf(stderr, "mpclust: bad --pipeline: %s\n",
+                         error.c_str());
+            return 2;
+        }
     }
 
     auto w = workloads::makeByName(name, size);
@@ -173,6 +204,8 @@ main(int argc, char **argv)
     }
     if (run_clust) {
         spec.clustered = true;
+        spec.pipeline = pipeline_spec;
+        spec.dumpIr = dump_ir;
         clust = harness::runWorkload(w, spec);
         printRun("clust", clust.result);
         if (show_metrics)
