@@ -18,6 +18,8 @@
 #include "analysis/analysis.hh"
 #include "codegen/codegen.hh"
 #include "common/logging.hh"
+#include "harness/profiler.hh"
+#include "harness/runner.hh"
 #include "kisa/interp.hh"
 #include "mem/eventq.hh"
 #include "system/system.hh"
@@ -142,6 +144,26 @@ benchOceanRun(bool skip_ahead, const char *label)
 }
 
 void
+benchProfiler(int reps)
+{
+    workloads::SizeParams size;
+    size.scale = 2;
+    const auto w = workloads::makeOcean(size);
+    const auto program = codegen::lower(w.kernel);
+    const auto config = harness::scaleConfig(sys::baseConfig(), w);
+    const auto t0 = clock_type::now();
+    std::uint64_t accesses = 0;
+    for (int r = 0; r < reps; ++r) {
+        kisa::MemoryImage scratch;
+        w.init(scratch);
+        const auto profile = harness::CacheProfile::measure(
+            program, scratch, config.hier.l2);
+        accesses += profile.accesses(0);
+    }
+    record("profiler/ocean-l2", secondsSince(t0), accesses);
+}
+
+void
 benchCompiler(int reps)
 {
     workloads::SizeParams size;
@@ -228,6 +250,7 @@ main(int argc, char **argv)
     benchSimulator(smoke ? 2000 : 20000, false, "sim/stream-reference");
     benchOceanRun(true, "sim/ocean-skip");
     benchOceanRun(false, "sim/ocean-reference");
+    benchProfiler(smoke ? 3 : 20);
     benchCompiler(smoke ? 3 : 20);
     benchParallelScaling();
 

@@ -45,8 +45,7 @@ CoherenceFabric::dataFlits() const
 
 bool
 CoherenceFabric::handleRequest(NodeId requestor, Addr line_addr,
-                               bool exclusive,
-                               std::function<void()> on_fill)
+                               bool exclusive, Continuation on_fill)
 {
     const NodeId home = placement_.home(line_addr);
     const Tick now = eq_.now();
@@ -147,7 +146,9 @@ CoherenceFabric::handleRequest(NodeId requestor, Addr line_addr,
         stats_.remoteLatency.sample(latency);
     }
 
-    eq_.schedule(fill, std::move(on_fill));
+    eq_.schedule(fill, [fn = std::move(on_fill), fill]() mutable {
+        fn(fill);
+    });
     return true;
 }
 

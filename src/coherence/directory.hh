@@ -19,11 +19,11 @@
 #define MPC_COHERENCE_DIRECTORY_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/continuation.hh"
+#include "common/flatmap.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -132,8 +132,9 @@ class CoherenceFabric
     void
     forEachDirEntry(Fn &&fn) const
     {
-        for (const auto &[addr, e] : directory_)
+        directory_.forEach([&fn](Addr addr, const DirEntry &e) {
             fn(addr, static_cast<int>(e.state), e.sharers, e.owner);
+        });
     }
 
     /** Node @p n's attached L2 (null before attachCache). */
@@ -175,7 +176,7 @@ class CoherenceFabric
         {}
         bool
         request(Addr line_addr, bool exclusive,
-                std::function<void()> on_fill) override
+                Continuation on_fill) override
         {
             return fabric_.handleRequest(node_, line_addr, exclusive,
                                          std::move(on_fill));
@@ -192,7 +193,7 @@ class CoherenceFabric
     };
 
     bool handleRequest(NodeId requestor, Addr line_addr, bool exclusive,
-                       std::function<void()> on_fill);
+                       Continuation on_fill);
     void handleWriteback(NodeId requestor, Addr line_addr);
 
     DirEntry &entry(Addr line_addr) { return directory_[line_addr]; }
@@ -209,7 +210,9 @@ class CoherenceFabric
     std::vector<mem::MainMemory *> memories_;
     std::vector<std::unique_ptr<NodePort>> ports_;
     std::vector<mem::TimelineResource> dirOcc_;
-    std::unordered_map<Addr, DirEntry> directory_;
+    /** Open-addressed: entries are created on first touch and never
+     *  erased, the no-tombstone case FlatAddrMap is built for. */
+    FlatAddrMap<DirEntry> directory_;
     FabricStats stats_;
 };
 

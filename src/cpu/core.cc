@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace mpc::cpu
@@ -13,13 +15,25 @@ Core::Core(int id, mem::EventQueue &eq, const CoreConfig &cfg,
            mem::MemHierarchy &hier, SyncDevice *sync)
     : id_(id), eq_(eq), cfg_(cfg), program_(program), mem_(mem),
       hier_(hier), sync_(sync), predictor_(cfg.predictorEntries),
-      window_(static_cast<size_t>(cfg.windowSize)),
+      window_(std::bit_ceil(static_cast<size_t>(cfg.windowSize))),
+      windowMask_(window_.size() - 1),
+      windowCap_(static_cast<std::uint64_t>(cfg.windowSize)),
       intWriter_(kisa::numIntRegs, 0), fpWriter_(kisa::numFpRegs, 0),
       aluBusy_(static_cast<size_t>(cfg.numAlus), 0),
       fpuBusy_(static_cast<size_t>(cfg.numFpus), 0),
       addrBusy_(static_cast<size_t>(cfg.numAddrUnits), 0)
 {
     MPC_ASSERT(!program.code.empty(), "empty program");
+    MPC_ASSERT(program.meta.size() == program.code.size(),
+               "program missing predecode sidecar (call predecode())");
+#ifndef NDEBUG
+    // The sidecar is derived data; step() plus the opcode helpers stay
+    // the single semantic definition. Cross-check on every construction
+    // in debug builds.
+    for (size_t i = 0; i < program.code.size(); ++i)
+        MPC_ASSERT(program.meta[i] == kisa::deriveMeta(program.code[i]),
+                   "stale predecode sidecar at pc %zu", i);
+#endif
 }
 
 bool
@@ -55,8 +69,41 @@ Core::tick()
     doIssue(now);
     doDispatch(now);
     drainWriteBuffer(now);
+#ifndef NDEBUG
+    auditScanCounts();
+#endif
     if (quiescence_)
         nextWake_ = computeNextWake(now);
+}
+
+void
+Core::auditScanCounts() const
+{
+#ifndef NDEBUG
+    int pending = 0;
+    int completed = 0;
+    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+        switch (slot(seq).state) {
+          case EState::WaitOperands:
+          case EState::WaitAgen:
+          case EState::WaitCache:
+            ++pending;
+            break;
+          case EState::Completed:
+            ++completed;
+            break;
+          case EState::Outstanding:
+          case EState::WaitSync:
+            break;
+        }
+    }
+    MPC_ASSERT(pending == issuePending_,
+               "issuePending_ drift: counted %d, tracked %d", pending,
+               issuePending_);
+    MPC_ASSERT(completed == completedInWindow_,
+               "completedInWindow_ drift: counted %d, tracked %d",
+               completed, completedInWindow_);
+#endif
 }
 
 Tick
@@ -102,11 +149,11 @@ Core::computeNextWake(Tick now)
             // issue is tracked through the window scan below.
             if (fetchResumeTick_ != maxTick)
                 wake = std::min(wake, fetchResumeTick_);
-        } else if (tailSeq_ - headSeq_ < window_.size()) {
-            const kisa::Instr &in = program_.code[pc_];
-            const bool branch_gated = kisa::isBranch(in.op) &&
+        } else if (tailSeq_ - headSeq_ < windowCap_) {
+            const kisa::InstrMeta &m = program_.meta[pc_];
+            const bool branch_gated = m.isBranch &&
                                       unresolvedBranches_ >= cfg_.maxBranches;
-            const bool mem_gated = kisa::isMemOp(in.op) &&
+            const bool mem_gated = m.isMem &&
                                    memQueueUsed_ >= cfg_.memQueueSize;
             if (!branch_gated && !mem_gated)
                 return now + 1; // can dispatch next cycle
@@ -117,10 +164,17 @@ Core::computeNextWake(Tick now)
         // Window full: unblocked by a retire, tracked below.
     }
 
-    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+    // Outstanding/WaitSync entries contribute nothing (their
+    // completion callbacks call wakeAt), so stop after the last
+    // scan-relevant entry — counted by issuePending_ plus
+    // completedInWindow_ — instead of walking the whole window.
+    int remaining = issuePending_ + completedInWindow_;
+    for (std::uint64_t seq = headSeq_; remaining > 0 && seq < tailSeq_;
+         ++seq) {
         const Entry &e = slot(seq);
         switch (e.state) {
           case EState::WaitOperands:
+            --remaining;
             // Issuable but blocked on issue width or a busy unit.
             if (producerDone(e.prodA, now) && producerDone(e.prodB, now))
                 return now + 1;
@@ -128,11 +182,13 @@ Core::computeNextWake(Tick now)
             // by their own cases in this scan.
             break;
           case EState::WaitAgen:
+            --remaining;
             wake = std::min(wake, std::max(e.readyTick, now + 1));
             break;
           case EState::WaitCache:
             return now + 1;     // cache retry mutates reject counters
           case EState::Completed:
+            --remaining;
             if (e.completeTick > now)
                 wake = std::min(wake, e.completeTick);
             else if (seq == headSeq_)
@@ -159,18 +215,19 @@ Core::producerDone(std::uint64_t prod, Tick now) const
 }
 
 void
-Core::recordProducers(Entry &entry, const kisa::Instr &instr)
+Core::recordProducers(Entry &entry, const kisa::Instr &instr,
+                      const kisa::InstrMeta &meta)
 {
     using kisa::noReg;
     entry.prodA = 0;
     entry.prodB = 0;
     if (instr.ra != noReg) {
-        entry.prodA = kisa::srcAIsFp(instr.op) ? fpWriter_[instr.ra]
-                                               : intWriter_[instr.ra];
+        entry.prodA = meta.srcAFp ? fpWriter_[instr.ra]
+                                  : intWriter_[instr.ra];
     }
     if (instr.rb != noReg) {
-        entry.prodB = kisa::srcBIsFp(instr.op) ? fpWriter_[instr.rb]
-                                               : intWriter_[instr.rb];
+        entry.prodB = meta.srcBFp ? fpWriter_[instr.rb]
+                                  : intWriter_[instr.rb];
     }
 }
 
@@ -254,6 +311,7 @@ Core::doRetire(Tick now)
         if (obs_ != nullptr)
             obs_->retired(now, e.pc);
         ++headSeq_;
+        --completedInWindow_;   // retiring entries are always Completed
         ++retired;
         ++stats_.retired;
         if (haltRetired_)
@@ -305,7 +363,7 @@ Core::classifyWhy() const
                 return obs::StallWhy::LineDep;
             if (head.addrFromLoad)
                 return obs::StallWhy::AddrDep;
-            return tailSeq_ - headSeq_ >= window_.size()
+            return tailSeq_ - headSeq_ >= windowCap_
                        ? obs::StallWhy::WindowFull
                        : obs::StallWhy::Leader;
           default:
@@ -367,6 +425,7 @@ Core::tryLoadAccess(std::uint64_t seq, Tick now)
             wakeAt(t);
             Entry &entry = slot(seq);
             entry.state = EState::Completed;
+            ++completedInWindow_;
             entry.completeTick = t;
             const auto latency =
                 static_cast<double>(t - entry.issueTick);
@@ -387,6 +446,7 @@ Core::tryLoadAccess(std::uint64_t seq, Tick now)
         return false;
     }
     e.state = EState::Outstanding;
+    --issuePending_;
     e.issueTick = now;
     e.coalesced = info.coalesced;
     if (obs_ != nullptr)
@@ -397,19 +457,29 @@ Core::tryLoadAccess(std::uint64_t seq, Tick now)
 void
 Core::doIssue(Tick now)
 {
+    // The scan acts only on WaitOperands/WaitAgen/WaitCache entries;
+    // stop once all of them (counted by issuePending_) have been
+    // visited instead of walking the rest of the window. Processing an
+    // entry never puts a *later* entry into a pending state, so a
+    // single forward pass with a snapshot count is exact.
+    int remaining = issuePending_;
     int budget = cfg_.issueWidth;
-    for (std::uint64_t seq = headSeq_; seq < tailSeq_; ++seq) {
+    for (std::uint64_t seq = headSeq_; remaining > 0 && seq < tailSeq_;
+         ++seq) {
         Entry &e = slot(seq);
         switch (e.state) {
           case EState::WaitOperands: {
+            --remaining;
             if (budget <= 0)
                 break;
             if (!producerDone(e.prodA, now) || !producerDone(e.prodB, now))
                 break;
-            const kisa::Instr &in = *e.instr;
-            const OpClass cls = kisa::opClass(in.op);
+            const kisa::InstrMeta &m = *e.meta;
+            const OpClass cls = m.cls;
             if (cls == OpClass::Nop) {
                 e.state = EState::Completed;
+                --issuePending_;
+                ++completedInWindow_;
                 e.completeTick = now;
                 break;
             }
@@ -417,14 +487,16 @@ Core::doIssue(Tick now)
             if (done == maxTick)
                 break;  // no free unit this cycle
             --budget;
-            if (kisa::isMemOp(in.op)) {
+            if (m.isMem) {
                 // Address generation; cache access follows.
                 e.state = EState::WaitAgen;
                 e.readyTick = done;
             } else {
                 e.state = EState::Completed;
+                --issuePending_;
+                ++completedInWindow_;
                 e.completeTick = done;
-                if (kisa::isBranch(in.op)) {
+                if (m.isBranch) {
                     eq_.schedule(done, [this] {
                         --unresolvedBranches_;
                         wakeAt(eq_.now());  // may unblock dispatch
@@ -436,18 +508,23 @@ Core::doIssue(Tick now)
             break;
           }
           case EState::WaitAgen:
+            --remaining;
             if (now >= e.readyTick) {
                 if (e.isStore) {
                     // Store is retire-ready once its address and data
                     // are known; memory is updated from the write
                     // buffer after retirement (release consistency).
                     e.state = EState::Completed;
+                    --issuePending_;
+                    ++completedInWindow_;
                     e.completeTick = e.readyTick;
                 } else if (e.isPrefetch) {
                     // Fire-and-forget; dropped if the cache rejects.
                     hier_.load(e.memAddr, e.instr->refId,
                                mem::CompletionFn{});
                     e.state = EState::Completed;
+                    --issuePending_;
+                    ++completedInWindow_;
                     e.completeTick = e.readyTick;
                 } else {
                     e.state = EState::WaitCache;
@@ -456,6 +533,7 @@ Core::doIssue(Tick now)
             }
             break;
           case EState::WaitCache:
+            --remaining;
             tryLoadAccess(seq, now);
             break;
           case EState::Outstanding:
@@ -489,6 +567,7 @@ Core::doDispatch(Tick now)
                     monitor_->onDispatch(now, blocked.pc, res, regs_);
                 pc_ = res.nextPc;
                 blocked.state = EState::Completed;
+                ++completedInWindow_;
                 blocked.completeTick = now;
                 dispatchBlockedSync_ = false;
             } else {
@@ -501,26 +580,27 @@ Core::doDispatch(Tick now)
         }
         if (now < fetchResumeTick_)
             return;  // mispredict redirect pending
-        if (tailSeq_ - headSeq_ >= window_.size())
+        if (tailSeq_ - headSeq_ >= windowCap_)
             return;  // window full
 
         const kisa::Instr &in = program_.code[pc_];
-        if (kisa::isBranch(in.op) &&
-            unresolvedBranches_ >= cfg_.maxBranches)
+        const kisa::InstrMeta &m = program_.meta[pc_];
+        if (m.isBranch && unresolvedBranches_ >= cfg_.maxBranches)
             return;
-        if (kisa::isMemOp(in.op) &&
-            memQueueUsed_ >= cfg_.memQueueSize)
+        if (m.isMem && memQueueUsed_ >= cfg_.memQueueSize)
             return;
 
         const std::uint64_t seq = tailSeq_++;
         Entry &e = slot(seq);
         e = Entry{};
         e.instr = &in;
+        e.meta = &m;
         e.pc = pc_;
-        recordProducers(e, in);
+        recordProducers(e, in, m);
 
         if (in.op == Op::Halt) {
             e.state = EState::Completed;
+            ++completedInWindow_;
             e.completeTick = now;
             haltDispatched_ = true;
             return;
@@ -544,6 +624,7 @@ Core::doDispatch(Tick now)
                 wakeAt(eq_.now());
                 Entry &entry = slot(seq);
                 entry.state = EState::Completed;
+                ++completedInWindow_;
                 entry.completeTick = eq_.now();
             });
             // The last arriver's callback fires synchronously; loop
@@ -552,6 +633,8 @@ Core::doDispatch(Tick now)
         }
 
         // Ordinary instruction: functionally execute at dispatch.
+        // The entry stays WaitOperands, so it joins the issue scan.
+        ++issuePending_;
         auto res = kisa::step(program_, pc_, regs_, mem_);
         const int branch_pc = pc_;
         if (monitor_)
@@ -573,7 +656,7 @@ Core::doDispatch(Tick now)
                 e.addrFromLoad = producerLoadInFlight(e.prodA, now) ||
                                  producerLoadInFlight(e.prodB, now);
         }
-        if (kisa::isBranch(in.op)) {
+        if (m.isBranch) {
             ++stats_.branches;
             ++unresolvedBranches_;
             const bool predicted = predictor_.predict(branch_pc, in);
@@ -588,9 +671,8 @@ Core::doDispatch(Tick now)
                 return;
             }
         }
-        if (in.rd != kisa::noReg && !kisa::isBranch(in.op) &&
-            in.op != Op::StI && in.op != Op::StF) {
-            if (kisa::destIsFp(in.op))
+        if (m.writesReg) {
+            if (m.destFp)
                 fpWriter_[in.rd] = seq + 1;
             else
                 intWriter_[in.rd] = seq + 1;

@@ -164,6 +164,7 @@ class Core
     struct Entry
     {
         const kisa::Instr *instr = nullptr;
+        const kisa::InstrMeta *meta = nullptr;  ///< predecode sidecar
         int pc = 0;
         EState state = EState::WaitOperands;
         Tick completeTick = maxTick;
@@ -184,10 +185,10 @@ class Core
         int obsOverlap = -1;        ///< outstanding reads after issue
     };
 
-    Entry &slot(std::uint64_t seq) { return window_[seq % window_.size()]; }
+    Entry &slot(std::uint64_t seq) { return window_[seq & windowMask_]; }
     const Entry &slot(std::uint64_t seq) const
     {
-        return window_[seq % window_.size()];
+        return window_[seq & windowMask_];
     }
 
     /** True if producer @p prod (seq+1 encoding) has completed. */
@@ -199,7 +200,8 @@ class Core
     void drainWriteBuffer(Tick now);
 
     /** Record the producer seqs for the sources of @p instr. */
-    void recordProducers(Entry &entry, const kisa::Instr &instr);
+    void recordProducers(Entry &entry, const kisa::Instr &instr,
+                         const kisa::InstrMeta &meta);
 
     /** Try to claim a functional unit of @p cls at @p now.
      *  @return completion tick, or maxTick if no unit is free. */
@@ -237,6 +239,9 @@ class Core
     /** Launch a load into the memory hierarchy. */
     bool tryLoadAccess(std::uint64_t seq, Tick now);
 
+    /** Debug-build recount of issuePending_/completedInWindow_. */
+    void auditScanCounts() const;
+
     const int id_;
     mem::EventQueue &eq_;
     CoreConfig cfg_;
@@ -249,9 +254,30 @@ class Core
     kisa::RegFile regs_;
     int pc_ = 0;
 
+    /**
+     * Window ring buffer, sized to the next power of two above the
+     * configured capacity so slot() indexes with a mask instead of a
+     * runtime modulo (a division on every window access otherwise —
+     * slot() sits inside every per-cycle scan). At most windowCap_
+     * seqs are in flight, so masked indices never collide.
+     */
     std::vector<Entry> window_;
+    std::uint64_t windowMask_ = 0;  ///< window_.size() - 1
+    std::uint64_t windowCap_ = 0;   ///< configured capacity (<= size)
     std::uint64_t headSeq_ = 0;     ///< oldest in-flight
     std::uint64_t tailSeq_ = 0;     ///< next to allocate
+
+    /**
+     * Scan-relevance counters: how many window entries are in a state
+     * the doIssue / computeNextWake scans act on (everything except
+     * Outstanding and WaitSync, whose case arms are no-ops). The scans
+     * stop once they have visited that many relevant entries, so a
+     * window full of outstanding misses costs O(few) instead of
+     * O(windowSize) per tick. Maintained at every state transition;
+     * audited against a full recount in debug builds (auditScanCounts).
+     */
+    int issuePending_ = 0;          ///< WaitOperands|WaitAgen|WaitCache
+    int completedInWindow_ = 0;     ///< Completed, not yet retired
 
     /** Youngest in-flight producer per register (seq+1; 0 = none). */
     std::vector<std::uint64_t> intWriter_;

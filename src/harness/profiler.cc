@@ -80,16 +80,18 @@ CacheProfile::measure(const kisa::Program &program,
     TagCache cache(geometry);
     kisa::Interpreter interp(scratch);
     interp.addCore(program);
-    interp.setMemHook([&](int, const kisa::Instr &instr, Addr addr,
-                          bool) {
-        const bool hit = cache.access(addr);
-        if (instr.refId == 0xffffffff)
-            return;
-        auto &counts = profile.counts_[static_cast<int>(instr.refId)];
-        ++counts.accesses;
-        counts.misses += !hit;
-    });
-    interp.run(1ull << 31);
+    // Statically-typed hook: inlines into the interpreter loop instead
+    // of paying a std::function dispatch per memory access.
+    interp.runWithHook(
+        [&](int, const kisa::Instr &instr, Addr addr, bool) {
+            const bool hit = cache.access(addr);
+            if (instr.refId == 0xffffffff)
+                return;
+            auto &counts = profile.counts_[instr.refId];
+            ++counts.accesses;
+            counts.misses += !hit;
+        },
+        1ull << 31);
     return profile;
 }
 
@@ -103,39 +105,45 @@ CacheProfile::measureMulti(const std::vector<kisa::Program> &programs,
     kisa::Interpreter interp(scratch);
     for (const auto &program : programs)
         interp.addCore(program);
-    interp.setMemHook([&](int core, const kisa::Instr &instr, Addr addr,
-                          bool is_load) {
-        const bool hit = caches[static_cast<size_t>(core)].access(addr);
-        if (!is_load) {
-            for (size_t c = 0; c < caches.size(); ++c)
-                if (c != static_cast<size_t>(core))
-                    caches[c].invalidate(addr);
-        }
-        if (instr.refId == 0xffffffff)
-            return;
-        auto &counts = profile.counts_[static_cast<int>(instr.refId)];
-        ++counts.accesses;
-        counts.misses += !hit;
-    });
-    interp.run(1ull << 31);
+    interp.runWithHook(
+        [&](int core, const kisa::Instr &instr, Addr addr,
+            bool is_load) {
+            const bool hit =
+                caches[static_cast<size_t>(core)].access(addr);
+            if (!is_load) {
+                for (size_t c = 0; c < caches.size(); ++c)
+                    if (c != static_cast<size_t>(core))
+                        caches[c].invalidate(addr);
+            }
+            if (instr.refId == 0xffffffff)
+                return;
+            auto &counts = profile.counts_[instr.refId];
+            ++counts.accesses;
+            counts.misses += !hit;
+        },
+        1ull << 31);
     return profile;
 }
 
 double
 CacheProfile::missRate(int ref_id) const
 {
-    const auto it = counts_.find(ref_id);
-    if (it == counts_.end() || it->second.accesses == 0)
+    const Counts *counts =
+        ref_id < 0 ? nullptr
+                   : counts_.find(static_cast<std::uint32_t>(ref_id));
+    if (counts == nullptr || counts->accesses == 0)
         return 1.0;
-    return static_cast<double>(it->second.misses) /
-           static_cast<double>(it->second.accesses);
+    return static_cast<double>(counts->misses) /
+           static_cast<double>(counts->accesses);
 }
 
 std::uint64_t
 CacheProfile::accesses(int ref_id) const
 {
-    const auto it = counts_.find(ref_id);
-    return it == counts_.end() ? 0 : it->second.accesses;
+    const Counts *counts =
+        ref_id < 0 ? nullptr
+                   : counts_.find(static_cast<std::uint32_t>(ref_id));
+    return counts == nullptr ? 0 : counts->accesses;
 }
 
 } // namespace mpc::harness

@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flatmap.hh"
 #include "kisa/interp.hh"
 #include "kisa/program.hh"
 #include "mem/config.hh"
@@ -65,7 +65,8 @@ class CacheProfile
         std::uint64_t accesses = 0;
         std::uint64_t misses = 0;
     };
-    std::unordered_map<int, Counts> counts_;
+    /** refIds are small dense codegen-assigned ids; see DenseRefMap. */
+    DenseRefMap<Counts> counts_;
 };
 
 } // namespace mpc::harness

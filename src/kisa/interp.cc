@@ -171,65 +171,19 @@ Interpreter::addCore(const Program &program)
 std::uint64_t
 Interpreter::run(std::uint64_t max_steps)
 {
-    MPC_ASSERT(!cores_.empty(), "Interpreter::run with no cores");
-    std::uint64_t total = 0;
-    const size_t n = cores_.size();
-    size_t num_halted = 0;
-
-    while (num_halted < n) {
-        bool progress = false;
-        size_t at_barrier = 0;
-        for (auto &core : cores_) {
-            if (core.halted) {
-                // A halted core counts as present for barrier purposes so
-                // stragglers are not stranded (kernels synchronize before
-                // halting, but tests may not).
-                ++at_barrier;
-                continue;
-            }
-            if (core.atBarrier) {
-                ++at_barrier;
-                continue;
-            }
-            // Run this core until it halts or blocks.
-            for (;;) {
-                StepResult res =
-                    step(*core.program, core.pc, core.regs, *mem_);
-                if (res.syncBlocked)
-                    break;  // FlagWait pending; give others a chance
-                ++core.instrs;
-                ++total;
-                if (total > max_steps)
-                    fatal("Interpreter: instruction budget exceeded "
-                          "(%llu) - runaway kernel?",
-                          static_cast<unsigned long long>(max_steps));
-                progress = true;
-                if (memHook_ && res.isMem)
-                    memHook_(static_cast<int>(&core - cores_.data()),
-                             core.program->code[core.pc], res.memAddr,
-                             res.isLoad);
-                core.pc = res.nextPc;
-                if (res.halted) {
-                    core.halted = true;
-                    ++num_halted;
-                    break;
-                }
-                if (res.isBarrier) {
-                    core.atBarrier = true;
-                    break;
-                }
-            }
-        }
-        if (at_barrier == n) {
-            // Release the barrier.
-            for (auto &core : cores_)
-                core.atBarrier = false;
-            progress = true;
-        }
-        if (!progress && num_halted < n)
-            fatal("Interpreter: deadlock (all cores blocked)");
+    if (memHook_) {
+        return runWithHook(
+            [this](int core, const Instr &instr, Addr addr,
+                   bool is_load) {
+                memHook_(core, instr, addr, is_load);
+            },
+            max_steps);
     }
-    return total;
+    struct NoHook
+    {
+        void operator()(int, const Instr &, Addr, bool) const {}
+    };
+    return runWithHook(NoHook{}, max_steps);
 }
 
 std::uint64_t

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "kisa/memimage.hh"
 #include "kisa/program.hh"
 
@@ -78,6 +79,79 @@ class Interpreter
      * @return total dynamic instructions executed.
      */
     std::uint64_t run(std::uint64_t max_steps = 1ull << 32);
+
+    /**
+     * run() with a statically-typed memory-access observer: @p hook is
+     * called as hook(core, instr, addr, is_load) for every memory
+     * instruction. The hook type is a template parameter so profiling
+     * callers (harness::CacheProfile) pay a direct — typically inlined —
+     * call instead of a std::function dispatch per access. run() and
+     * setMemHook remain as the type-erased convenience wrapper.
+     */
+    template <typename Hook>
+    std::uint64_t
+    runWithHook(Hook &&hook, std::uint64_t max_steps = 1ull << 32)
+    {
+        MPC_ASSERT(!cores_.empty(), "Interpreter::run with no cores");
+        std::uint64_t total = 0;
+        const size_t n = cores_.size();
+        size_t num_halted = 0;
+
+        while (num_halted < n) {
+            bool progress = false;
+            size_t at_barrier = 0;
+            for (auto &core : cores_) {
+                if (core.halted) {
+                    // A halted core counts as present for barrier
+                    // purposes so stragglers are not stranded (kernels
+                    // synchronize before halting, but tests may not).
+                    ++at_barrier;
+                    continue;
+                }
+                if (core.atBarrier) {
+                    ++at_barrier;
+                    continue;
+                }
+                // Run this core until it halts or blocks.
+                for (;;) {
+                    StepResult res =
+                        step(*core.program, core.pc, core.regs, *mem_);
+                    if (res.syncBlocked)
+                        break;  // FlagWait pending; let others run
+                    ++core.instrs;
+                    ++total;
+                    if (total > max_steps)
+                        fatal("Interpreter: instruction budget exceeded "
+                              "(%llu) - runaway kernel?",
+                              static_cast<unsigned long long>(max_steps));
+                    progress = true;
+                    if (res.isMem)
+                        hook(static_cast<int>(&core - cores_.data()),
+                             core.program->code[core.pc], res.memAddr,
+                             res.isLoad);
+                    core.pc = res.nextPc;
+                    if (res.halted) {
+                        core.halted = true;
+                        ++num_halted;
+                        break;
+                    }
+                    if (res.isBarrier) {
+                        core.atBarrier = true;
+                        break;
+                    }
+                }
+            }
+            if (at_barrier == n) {
+                // Release the barrier.
+                for (auto &core : cores_)
+                    core.atBarrier = false;
+                progress = true;
+            }
+            if (!progress && num_halted < n)
+                fatal("Interpreter: deadlock (all cores blocked)");
+        }
+        return total;
+    }
 
     /** Dynamic instruction count of core @p core after run(). */
     std::uint64_t instrCount(int core) const;

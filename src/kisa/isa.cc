@@ -98,6 +98,22 @@ srcBIsFp(Op op)
     }
 }
 
+InstrMeta
+deriveMeta(const Instr &instr)
+{
+    const Op op = instr.op;
+    InstrMeta m;
+    m.cls = opClass(op);
+    m.isMem = isMemOp(op);
+    m.isBranch = isBranch(op);
+    m.destFp = destIsFp(op);
+    m.srcAFp = srcAIsFp(op);
+    m.srcBFp = srcBIsFp(op);
+    m.writesReg = instr.rd != noReg && !m.isBranch &&
+                  op != Op::StI && op != Op::StF;
+    return m;
+}
+
 const char *
 opName(Op op)
 {

@@ -136,6 +136,41 @@ struct Instr
     std::string toString() const;
 };
 
+/**
+ * Predecoded per-instruction metadata: everything the out-of-order
+ * core's dispatch/issue/retire logic needs that is derivable from the
+ * opcode alone. Built once per program (Program::predecode) so the hot
+ * loop does one indexed array read instead of re-deriving attributes
+ * through the opcode switch every dynamic instruction. step() remains
+ * the single semantic definition; deriveMeta is asserted consistent
+ * with the opcode helpers in debug builds (Core ctor).
+ */
+struct InstrMeta
+{
+    OpClass cls = OpClass::Nop;
+    bool isMem = false;     ///< isMemOp(op)
+    bool isBranch = false;  ///< isBranch(op)
+    bool destFp = false;    ///< destIsFp(op)
+    bool srcAFp = false;    ///< srcAIsFp(op)
+    bool srcBFp = false;    ///< srcBIsFp(op)
+    /** Instruction writes a destination register visible to later
+     *  consumers: rd is set and the op is neither a branch nor a
+     *  store (stores use rd-free encodings; see AsmBuilder). */
+    bool writesReg = false;
+
+    bool
+    operator==(const InstrMeta &o) const
+    {
+        return cls == o.cls && isMem == o.isMem &&
+               isBranch == o.isBranch && destFp == o.destFp &&
+               srcAFp == o.srcAFp && srcBFp == o.srcBFp &&
+               writesReg == o.writesReg;
+    }
+};
+
+/** Derive @p instr's metadata from the opcode helpers above. */
+InstrMeta deriveMeta(const Instr &instr);
+
 } // namespace mpc::kisa
 
 #endif // MPC_KISA_ISA_HH

@@ -7,6 +7,15 @@
 namespace mpc::kisa
 {
 
+void
+Program::predecode()
+{
+    meta.clear();
+    meta.reserve(code.size());
+    for (const Instr &instr : code)
+        meta.push_back(deriveMeta(instr));
+}
+
 std::string
 Program::disassemble() const
 {
@@ -221,6 +230,7 @@ AsmBuilder::finish()
         MPC_ASSERT(pos >= 0, "branch to unbound label");
         prog_.code[fixup.instrIdx].target = pos;
     }
+    prog_.predecode();
     finished_ = true;
     return std::move(prog_);
 }

@@ -25,7 +25,17 @@ struct Program
     std::string name;
     std::vector<Instr> code;
 
+    /**
+     * Predecode sidecar: meta[i] describes code[i]. Built by
+     * predecode() (AsmBuilder::finish does this); the core requires it
+     * and asserts consistency with the opcode helpers in debug builds.
+     */
+    std::vector<InstrMeta> meta;
+
     size_t size() const { return code.size(); }
+
+    /** (Re)build the predecode sidecar from code. */
+    void predecode();
 
     /** Full disassembly listing (one instruction per line). */
     std::string disassemble() const;

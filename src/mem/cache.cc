@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace mpc::mem
@@ -9,11 +11,13 @@ Cache::Cache(EventQueue &eq, CacheConfig cfg, bool coherent,
              bool write_allocate)
     : eq_(eq), cfg_(std::move(cfg)), coherent_(coherent),
       writeAllocate_(write_allocate),
-      sets_(cfg_.numSets(), std::vector<Line>(cfg_.assoc)),
-      mshrs_(cfg_.numMshrs)
+      lines_(cfg_.numSets() * cfg_.assoc), mshrs_(cfg_.numMshrs)
 {
     MPC_ASSERT(isPowerOf2(cfg_.lineBytes), "line size must be power of 2");
     MPC_ASSERT(isPowerOf2(cfg_.numSets()), "set count must be power of 2");
+    lineShift_ = std::countr_zero(
+        static_cast<std::uint64_t>(cfg_.lineBytes));
+    setMask_ = cfg_.numSets() - 1;
 }
 
 bool
@@ -33,10 +37,11 @@ Cache::reservePort()
 Cache::Line *
 Cache::findLine(Addr line_addr)
 {
-    const std::uint64_t set = (line_addr / cfg_.lineBytes) % cfg_.numSets();
-    for (Line &line : sets_[set])
-        if (line.valid && line.tag == line_addr)
-            return &line;
+    const std::uint64_t set = (line_addr >> lineShift_) & setMask_;
+    Line *way = &lines_[set * cfg_.assoc];
+    for (int w = 0; w < cfg_.assoc; ++w, ++way)
+        if (way->valid && way->tag == line_addr)
+            return way;
     return nullptr;
 }
 
@@ -63,28 +68,26 @@ Cache::Status
 Cache::loadAccess(Addr addr, std::uint32_t ref_id, CompletionFn done,
                   AccessInfo *info)
 {
-    return access(Kind::Load, addr, false, ref_id, std::move(done), {},
+    return access(Kind::Load, addr, false, ref_id, std::move(done),
                   info);
 }
 
 Cache::Status
 Cache::writeAccess(Addr addr, std::uint32_t ref_id, CompletionFn done)
 {
-    return access(Kind::Write, addr, true, ref_id, std::move(done), {});
+    return access(Kind::Write, addr, true, ref_id, std::move(done));
 }
 
 Cache::Status
-Cache::lineRequest(Addr line_addr, bool exclusive,
-                   std::function<void()> on_fill)
+Cache::lineRequest(Addr line_addr, bool exclusive, Continuation on_fill)
 {
-    return access(Kind::LineFetch, line_addr, exclusive, 0xffffffff, {},
+    return access(Kind::LineFetch, line_addr, exclusive, 0xffffffff,
                   std::move(on_fill));
 }
 
 Cache::Status
 Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
-              CompletionFn done, std::function<void()> on_fill,
-              AccessInfo *info)
+              CompletionFn done, AccessInfo *info)
 {
     const Addr line_addr = lineOf(addr);
     const Tick now = eq_.now();
@@ -126,10 +129,10 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
             ++stats_.loadHits;
         }
         const Tick when = now + cfg_.hitLatency;
-        if (kind == Kind::LineFetch) {
-            eq_.schedule(when, std::move(on_fill));
-        } else if (done) {
-            eq_.schedule(when, [fn = std::move(done), when] { fn(when); });
+        if (done) {
+            eq_.schedule(when, [fn = std::move(done), when]() mutable {
+                fn(when);
+            });
         }
         return Status::Ok;
     }
@@ -193,10 +196,7 @@ Cache::access(Kind kind, Addr addr, bool exclusive, std::uint32_t ref_id,
     MshrTarget target;
     target.isLoad = is_load;
     target.refId = ref_id;
-    if (kind == Kind::LineFetch)
-        target.onComplete = [fn = std::move(on_fill)](Tick) { fn(); };
-    else
-        target.onComplete = std::move(done);
+    target.onComplete = std::move(done);
     mshrs_.addTarget(now, id, std::move(target));
     if (obs_ != nullptr) {
         if (allocated)
@@ -250,20 +250,21 @@ Cache::handleFill(MshrFile::Id id)
         line = findLine(line_addr);
     }
 
-    auto targets = mshrs_.deallocate(now, id);
+    mshrs_.deallocateInto(now, id, fillScratch_);
     if (obs_ != nullptr)
         obs_->missFilled(now, line_addr, alloc_tick, had_read,
                          mshrs_.readOccupancy(), mshrs_.occupancy());
     const Tick when = now + cfg_.fillLatency;
-    for (auto &target : targets) {
+    for (auto &target : fillScratch_) {
         if (!target.isLoad && writeAllocate_) {
             line->dirty = true;
             line->state = LineState::Modified;
         }
         if (target.onComplete) {
-            eq_.schedule(when, [fn = std::move(target.onComplete), when] {
-                fn(when);
-            });
+            eq_.schedule(when,
+                         [fn = std::move(target.onComplete), when]() mutable {
+                             fn(when);
+                         });
         }
     }
 
@@ -284,15 +285,16 @@ Cache::handleFill(MshrFile::Id id)
 void
 Cache::installLine(Addr line_addr, LineState state, bool dirty)
 {
-    const std::uint64_t set = (line_addr / cfg_.lineBytes) % cfg_.numSets();
+    const std::uint64_t set = (line_addr >> lineShift_) & setMask_;
     Line *victim = nullptr;
-    for (Line &line : sets_[set]) {
-        if (!line.valid) {
-            victim = &line;
+    Line *way = &lines_[set * cfg_.assoc];
+    for (int w = 0; w < cfg_.assoc; ++w, ++way) {
+        if (!way->valid) {
+            victim = way;
             break;
         }
-        if (victim == nullptr || line.lastUse < victim->lastUse)
-            victim = &line;
+        if (victim == nullptr || way->lastUse < victim->lastUse)
+            victim = way;
     }
     if (victim->valid) {
         if (victim->dirty) {

@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flatmap.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/config.hh"
@@ -56,7 +56,7 @@ class DownstreamPort
      * cannot be accepted now (caller retries).
      */
     virtual bool request(Addr line_addr, bool exclusive,
-                         std::function<void()> on_fill) = 0;
+                         Continuation on_fill) = 0;
 
     /** Accept a dirty-line writeback (buffered; never rejected). */
     virtual void writeback(Addr line_addr) = 0;
@@ -89,13 +89,15 @@ class Cache
         StatSummary missLatency;            ///< MSHR alloc -> fill
 
         /** Per-static-reference access/miss counts (by refId), for
-         *  validating profiled P_m against simulated behaviour. */
+         *  validating profiled P_m against simulated behaviour. Dense
+         *  by construction, so iteration is sorted by refId and report
+         *  output is stable across standard-library versions. */
         struct RefCounts
         {
             std::uint64_t accesses = 0;
             std::uint64_t misses = 0;
         };
-        std::unordered_map<std::uint32_t, RefCounts> perRef;
+        DenseRefMap<RefCounts> perRef;
     };
 
     /**
@@ -137,7 +139,7 @@ class Cache
      * is present here (and can then be forwarded upward).
      */
     Status lineRequest(Addr line_addr, bool exclusive,
-                       std::function<void()> on_fill);
+                       Continuation on_fill);
 
     // --- coherence probes (multiprocessor L2) ------------------------
     /** Invalidate the line if resident. @return true if it was dirty. */
@@ -165,18 +167,27 @@ class Cache
     void
     forEachLine(Fn &&fn) const
     {
-        for (const auto &set : sets_)
-            for (const Line &line : set)
-                if (line.valid)
-                    fn(line.tag, line.state, line.dirty);
+        for (const Line &line : lines_)
+            if (line.valid)
+                fn(line.tag, line.state, line.dirty);
     }
 
     /** Fault injection for validation tests: allocate an MSHR that will
-     *  never fill or deallocate, so the leak audit must flag it. */
+     *  never fill or deallocate, so the leak audit must flag it. A
+     *  non-empty @p on_complete is attached as a load target, modeling a
+     *  leaked (never-released) pooled continuation. */
     void
-    leakMshrForTest(Tick now, Addr line_addr)
+    leakMshrForTest(Tick now, Addr line_addr,
+                    CompletionFn on_complete = {})
     {
-        mshrs_.markIssued(mshrs_.allocate(now, lineOf(line_addr), false));
+        const auto id = mshrs_.allocate(now, lineOf(line_addr), false);
+        mshrs_.markIssued(id);
+        if (on_complete) {
+            MshrTarget target;
+            target.isLoad = true;
+            target.onComplete = std::move(on_complete);
+            mshrs_.addTarget(now, id, std::move(target));
+        }
     }
 
   private:
@@ -193,10 +204,10 @@ class Cache
 
     Addr lineOf(Addr addr) const { return alignDown(addr, cfg_.lineBytes); }
 
-    /** Common access path. @p on_fill used for LineFetch kind. */
+    /** Common access path. @p done doubles as the LineFetch fill
+     *  callback (a Continuation accepts either call shape). */
     Status access(Kind kind, Addr addr, bool exclusive,
                   std::uint32_t ref_id, CompletionFn done,
-                  std::function<void()> on_fill,
                   AccessInfo *info = nullptr);
 
     /** Reserve an upper-side port this cycle; false if all busy. */
@@ -226,9 +237,16 @@ class Cache
     obs::MissTracker *obs_ = nullptr;
     std::function<void(Addr)> backInvalidate_;
 
-    std::vector<std::vector<Line>> sets_;
+    /** Flat tag store: numSets x assoc, set-major, so one lookup is a
+     *  shift/mask plus a short contiguous scan of the set's ways. */
+    std::vector<Line> lines_;
+    int lineShift_ = 0;             ///< log2(cfg_.lineBytes)
+    std::uint64_t setMask_ = 0;     ///< numSets - 1
     MshrFile mshrs_;
     Stats stats_;
+    /** Reusable fill-notification scratch; its capacity circulates
+     *  with the MSHR entries' target vectors (see deallocateInto). */
+    std::vector<MshrTarget> fillScratch_;
 
     Tick portTick_ = maxTick;   ///< cycle of last port reservation
     int portsUsed_ = 0;

@@ -67,7 +67,7 @@ class MemHierarchy
         L1Below(Cache &l1, Cache &l2) : l1_(l1), l2_(l2) {}
         bool
         request(Addr line_addr, bool exclusive,
-                std::function<void()> on_fill) override
+                Continuation on_fill) override
         {
             // The L2 fill and the L1's delayed install are fillLatency
             // apart; if the L2 evicts the line in that window, its
@@ -77,8 +77,9 @@ class MemHierarchy
             // been delivered by then).
             return l2_.lineRequest(
                        line_addr, exclusive,
-                       [this, line_addr, fn = std::move(on_fill)] {
-                           fn();
+                       [this, line_addr,
+                        fn = std::move(on_fill)](Tick t) mutable {
+                           fn(t);
                            if (!l2_.isResident(line_addr))
                                l1_.backInvalidateLine(line_addr);
                        }) == Cache::Status::Ok;

@@ -78,11 +78,13 @@ MainMemory::writeAccessAt(Tick start, Addr line_addr)
 
 bool
 MainMemory::request(Addr line_addr, bool exclusive,
-                    std::function<void()> on_fill)
+                    Continuation on_fill)
 {
     (void)exclusive;  // no coherence below a uniprocessor L2
     const Tick done = readAccessAt(eq_.now(), line_addr);
-    eq_.schedule(done, std::move(on_fill));
+    eq_.schedule(done, [fn = std::move(on_fill), done]() mutable {
+        fn(done);
+    });
     return true;
 }
 

@@ -40,7 +40,7 @@ class MainMemory : public DownstreamPort
 
     // DownstreamPort
     bool request(Addr line_addr, bool exclusive,
-                 std::function<void()> on_fill) override;
+                 Continuation on_fill) override;
     void writeback(Addr line_addr) override;
 
     /**

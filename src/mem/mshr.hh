@@ -13,9 +13,9 @@
 #ifndef MPC_MEM_MSHR_HH
 #define MPC_MEM_MSHR_HH
 
-#include <functional>
 #include <vector>
 
+#include "common/continuation.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -23,8 +23,11 @@
 namespace mpc::mem
 {
 
-/** Callback invoked when an access completes, with the completion tick. */
-using CompletionFn = std::function<void(Tick)>;
+/** Callback invoked when an access completes, with the completion
+ *  tick. Pool-backed (see common/continuation.hh): the per-miss
+ *  alloc -> coalesce -> fill -> retire lifecycle never touches the
+ *  heap in steady state. */
+using CompletionFn = Continuation;
 
 /** One coalesced requester waiting on an in-flight line. */
 struct MshrTarget
@@ -153,17 +156,20 @@ class MshrFile
     void markInvalidateOnFill(Id id) { entry(id).invalidateOnFill = true; }
 
     /**
-     * Free entry @p id at time @p now, returning its targets for
-     * notification (moved out).
+     * Free entry @p id at time @p now, swapping its targets into
+     * @p out for notification. @p out is cleared first; its capacity
+     * is donated back to the entry, so a caller reusing one scratch
+     * vector keeps the whole fill path allocation-free.
      */
-    std::vector<MshrTarget>
-    deallocate(Tick now, Id id)
+    void
+    deallocateInto(Tick now, Id id, std::vector<MshrTarget> &out)
     {
         Entry &e = entry(id);
         MPC_ASSERT(e.valid, "deallocate of invalid MSHR");
         recordOccupancy(now);
         e.valid = false;
-        return std::move(e.targets);
+        out.clear();
+        out.swap(e.targets);
     }
 
     /** Flush occupancy accounting up to @p now (call at end of sim). */

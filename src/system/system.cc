@@ -26,11 +26,11 @@ mergeCacheStats(mem::Cache::Stats &into, const mem::Cache::Stats &from)
     into.writebacks += from.writebacks;
     into.fills += from.fills;
     into.missLatency.merge(from.missLatency);
-    for (const auto &[ref_id, counts] : from.perRef) {
+    from.perRef.forEach([&into](std::uint32_t ref_id, const auto &counts) {
         auto &agg = into.perRef[ref_id];
         agg.accesses += counts.accesses;
         agg.misses += counts.misses;
-    }
+    });
 }
 
 } // namespace

@@ -65,12 +65,12 @@ expectSameCacheStats(const mem::Cache::Stats &a,
     EXPECT_EQ(a.fills, b.fills) << what;
     expectSameSummary(a.missLatency, b.missLatency, what);
     ASSERT_EQ(a.perRef.size(), b.perRef.size()) << what;
-    for (const auto &[ref, counts] : a.perRef) {
-        const auto it = b.perRef.find(ref);
-        ASSERT_NE(it, b.perRef.end()) << what << " ref " << ref;
-        EXPECT_EQ(counts.accesses, it->second.accesses) << what;
-        EXPECT_EQ(counts.misses, it->second.misses) << what;
-    }
+    a.perRef.forEach([&](std::uint32_t ref, const auto &counts) {
+        const auto *other = b.perRef.find(ref);
+        ASSERT_NE(other, nullptr) << what << " ref " << ref;
+        EXPECT_EQ(counts.accesses, other->accesses) << what;
+        EXPECT_EQ(counts.misses, other->misses) << what;
+    });
 }
 
 void

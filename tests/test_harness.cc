@@ -401,10 +401,11 @@ TEST(PerRefStats, SimulatorTracksPerReferenceMisses)
     EXPECT_GE(run.result.l1.perRef.size(), 3u);
     EXPECT_GE(run.result.l2.perRef.size(), 1u);
     std::uint64_t total_accesses = 0;
-    for (const auto &[ref_id, counts] : run.result.l1.perRef) {
-        EXPECT_LE(counts.misses, counts.accesses) << ref_id;
-        total_accesses += counts.accesses;
-    }
+    run.result.l1.perRef.forEach(
+        [&](std::uint32_t ref_id, const auto &counts) {
+            EXPECT_LE(counts.misses, counts.accesses) << ref_id;
+            total_accesses += counts.accesses;
+        });
     EXPECT_GT(total_accesses, 100u);
 }
 
@@ -428,15 +429,17 @@ TEST(PerRefStats, ProfileAgreesWithSimulatedMissRates)
     spec.clustered = false;
     const auto run = runWorkload(w, spec);
     int compared = 0;
-    for (const auto &[ref_id, counts] : run.result.l1.perRef) {
-        if (counts.accesses < 500)
-            continue;
-        const double simulated = double(counts.misses) /
-                                 double(counts.accesses);
-        const double predicted = profile.missRate(int(ref_id));
-        EXPECT_NEAR(simulated, predicted, 0.35) << "refId " << ref_id;
-        ++compared;
-    }
+    run.result.l1.perRef.forEach(
+        [&](std::uint32_t ref_id, const auto &counts) {
+            if (counts.accesses < 500)
+                return;
+            const double simulated = double(counts.misses) /
+                                     double(counts.accesses);
+            const double predicted = profile.missRate(int(ref_id));
+            EXPECT_NEAR(simulated, predicted, 0.35)
+                << "refId " << ref_id;
+            ++compared;
+        });
     EXPECT_GE(compared, 1);
 }
 

@@ -301,7 +301,8 @@ TEST(Mshr, AllocateFindDeallocate)
     EXPECT_EQ(m.find(0x1000), id);
     EXPECT_EQ(m.find(0x2000), MshrFile::invalidId);
     EXPECT_EQ(m.occupancy(), 1);
-    m.deallocate(10, id);
+    std::vector<MshrTarget> targets;
+    m.deallocateInto(10, id, targets);
     EXPECT_EQ(m.occupancy(), 0);
     EXPECT_EQ(m.find(0x1000), MshrFile::invalidId);
 }
@@ -321,10 +322,11 @@ TEST(Mshr, ReadOccupancyTracksLoadTargets)
     EXPECT_EQ(m.readOccupancy(), 0);
     MshrTarget t;
     t.isLoad = false;
-    m.addTarget(0, id, t);
+    m.addTarget(0, id, std::move(t));
     EXPECT_EQ(m.readOccupancy(), 0);
-    t.isLoad = true;
-    m.addTarget(0, id, t);
+    MshrTarget t2;
+    t2.isLoad = true;
+    m.addTarget(0, id, std::move(t2));
     EXPECT_EQ(m.readOccupancy(), 1);
 }
 
@@ -335,8 +337,9 @@ TEST(Mshr, OccupancyHistogramTimeWeighted)
     auto id = m.allocate(100, 0x40, false);
     MshrTarget t;
     t.isLoad = true;
-    m.addTarget(100, id, t);
-    m.deallocate(300, id);
+    m.addTarget(100, id, std::move(t));
+    std::vector<MshrTarget> targets;
+    m.deallocateInto(300, id, targets);
     m.finalizeStats(400);
     const auto &h = m.totalHistogram();
     EXPECT_EQ(h.totalTicks(), 400u);
@@ -393,7 +396,7 @@ class FakeDownstream : public DownstreamPort
 
     bool
     request(Addr line_addr, bool exclusive,
-            std::function<void()> on_fill) override
+            Continuation on_fill) override
     {
         ++requests;
         lastAddr = line_addr;
@@ -402,7 +405,10 @@ class FakeDownstream : public DownstreamPort
             rejectNext = false;
             return false;
         }
-        eq_.scheduleIn(delay_, std::move(on_fill));
+        const Tick when = eq_.now() + delay_;
+        eq_.schedule(when, [fn = std::move(on_fill), when]() mutable {
+            fn(when);
+        });
         return true;
     }
 

@@ -291,7 +291,7 @@ TEST(Stats, PerRefCountsFlowThroughSystem)
     ps.push_back(b.finish());
     sys::System s(sys::baseConfig(), std::move(ps), image);
     auto r = s.run();
-    ASSERT_TRUE(r.l1.perRef.count(5));
+    ASSERT_TRUE(r.l1.perRef.contains(5));
     EXPECT_EQ(r.l1.perRef.at(5).accesses, 12u);
     // 12 words span 96 bytes = 2 lines -> 2 line fetches at the L1
     // (the rest hit or coalesce).

@@ -234,15 +234,16 @@ main(int argc, char **argv)
         std::printf("\nper-reference L2 behaviour (clustered run):\n");
         std::printf("  %-8s %12s %12s %10s\n", "refId", "accesses",
                     "misses", "miss rate");
-        for (const auto &[ref_id, counts] : clust.result.l2.perRef) {
+        clust.result.l2.perRef.forEach([](std::uint32_t ref_id,
+                                          const auto &counts) {
             if (counts.accesses == 0)
-                continue;
+                return;
             std::printf("  %-8u %12llu %12llu %9.1f%%\n", ref_id,
                         (unsigned long long)counts.accesses,
                         (unsigned long long)counts.misses,
                         100.0 * double(counts.misses) /
                             double(counts.accesses));
-        }
+        });
     }
     if (show_mshr && run_base && run_clust) {
         std::vector<const sys::RunResult *> runs{&base.result,
