@@ -1,0 +1,192 @@
+/**
+ * @file
+ * P2: functional-execution performance of the KISA backends. For every
+ * workload it times the three host-bound consumers of functional
+ * execution — raw kernel execution, the cache profiler, and the
+ * verified pass pipeline — on the tier selected by MPC_EXEC_TIER
+ * (default threaded). CI runs it once per tier and feeds the JSON
+ * pairs to tools/perfcmp, which demonstrates the threaded tier's
+ * speedup and guards it against regression.
+ *
+ * stdout carries only deterministic results (instruction/access/pass
+ * counts and array checksums), so a stdout diff across
+ * MPC_EXEC_TIER=interp|threaded is the bit-exactness check; host
+ * timing goes to stderr and BENCH_functional.json.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hh"
+#include "common/logging.hh"
+#include "harness/profiler.hh"
+#include "ir/eval.hh"
+#include "kisa/exec_threaded.hh"
+#include "transform/driver.hh"
+#include "transform/pipeline.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace mpc;
+using clock_type = std::chrono::steady_clock;
+
+std::vector<bench::JsonRun> g_runs;
+
+// Each row's timed section runs a fixed number of times on fresh
+// state (memory image / kernel clone rebuilt outside the timer) and
+// the minimum is recorded: run-to-run results are bit-identical, so
+// min-of-N only strips scheduler noise from the host timing. The
+// counts are fixed — not time-budgeted — so a run does the same work
+// on every tier and host.
+constexpr int execReps = 5;
+constexpr int verifyReps = 3;
+
+double
+secondsSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/**
+ * Record one row: deterministic fields (count, digest) to stdout, the
+ * host wall time to stderr and the JSON report.
+ */
+void
+record(const std::string &label, double wall, std::uint64_t items,
+       std::uint64_t digest)
+{
+    std::printf("%-22s %14llu items  digest %016llx\n", label.c_str(),
+                static_cast<unsigned long long>(items),
+                static_cast<unsigned long long>(digest));
+    std::fprintf(stderr, "%-22s %8.3fs\n", label.c_str(), wall);
+    const double rate =
+        wall > 0.0 ? static_cast<double>(items) / wall : 0.0;
+    g_runs.push_back({label, wall, items, rate});
+}
+
+/** exec/<wl>: run the lowered base kernel to completion on the tier. */
+void
+benchExec(const workloads::Workload &w)
+{
+    const auto program = codegen::lower(w.kernel);
+    double best = 0.0;
+    std::uint64_t instrs = 0;
+    std::uint64_t digest = 0;
+    for (int rep = 0; rep < execReps; ++rep) {
+        kisa::MemoryImage mem;
+        ir::initKernelMemory(w.kernel, mem, w.init);
+        const auto t0 = clock_type::now();
+        instrs = kisa::execute(program, mem);
+        const double wall = secondsSince(t0);
+        best = rep == 0 ? wall : std::min(best, wall);
+        digest = ir::checksumArrays(w.kernel, mem);
+    }
+    record("exec/" + w.name, best, instrs, digest);
+}
+
+/** profile/<wl>: the analysis cache profiler over the base kernel. */
+harness::CacheProfile
+benchProfile(const workloads::Workload &w)
+{
+    const auto program = codegen::lower(w.kernel);
+    mem::CacheConfig geometry;
+    geometry.sizeBytes = w.l2Bytes;
+    geometry.assoc = 4;
+    harness::CacheProfile profile;
+    double best = 0.0;
+    std::uint64_t digest = 0;
+    for (int rep = 0; rep < execReps; ++rep) {
+        kisa::MemoryImage scratch;
+        ir::initKernelMemory(w.kernel, scratch, w.init);
+        const auto t0 = clock_type::now();
+        profile =
+            harness::CacheProfile::measure(program, scratch, geometry);
+        const double wall = secondsSince(t0);
+        best = rep == 0 ? wall : std::min(best, wall);
+        digest = ir::checksumArrays(w.kernel, scratch);
+    }
+    // refIds are small dense codegen-assigned ids; summing a fixed
+    // range is deterministic regardless of how many exist.
+    std::uint64_t accesses = 0;
+    for (int id = 0; id < 256; ++id)
+        accesses += profile.accesses(id);
+    record("profile/" + w.name, best, accesses, digest);
+    return profile;
+}
+
+/** verify/<wl>: the pass pipeline with per-pass equivalence checks. */
+void
+benchVerify(const workloads::Workload &w,
+            const harness::CacheProfile &profile)
+{
+    transform::DriverParams params;
+    params.bodySize = codegen::loweredBodySize;
+    params.missRate = profile.asFunction();
+
+    transform::Pipeline pipeline;
+    std::string error;
+    if (!transform::Pipeline::parse(
+            transform::pipelineSpecFromParams(params), pipeline, error))
+        fatal("bad pipeline spec: %s", error.c_str());
+    pipeline.verifyMode = transform::VerifyMode::Panic;
+    pipeline.initMemory = w.init;
+
+    ir::Kernel kernel = w.kernel.clone();
+    double best = 0.0;
+    transform::PipelineReport report;
+    for (int rep = 0; rep < verifyReps; ++rep) {
+        kernel = w.kernel.clone();
+        const auto t0 = clock_type::now();
+        report = pipeline.run(kernel, params);
+        const double wall = secondsSince(t0);
+        best = rep == 0 ? wall : std::min(best, wall);
+    }
+
+    // Digest the transformed kernel's result (outside the timed
+    // region): identical across tiers and to the base digest only if
+    // every pass was semantics-preserving.
+    kisa::MemoryImage mem;
+    ir::initKernelMemory(kernel, mem, w.init);
+    codegen::CodegenOptions options;
+    options.clusteredSchedule = true;
+    kisa::execute(codegen::lower(kernel, options), mem);
+    record("verify/" + w.name, best, report.passes.size(),
+           ir::checksumArrays(kernel, mem));
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto size = bench::scaleFromEnv();
+    const kisa::ExecTier tier = kisa::execTierFromEnv();
+    std::fprintf(stderr, "exec tier: %s, scale %d\n",
+                 kisa::execTierName(tier), size.scale);
+    std::printf("=== P2: functional execution (per-workload) ===\n");
+    std::printf("%-22s %20s  %23s\n", "experiment", "items",
+                "array digest");
+
+    std::vector<std::string> names{"latbench"};
+    for (const auto &name : bench::allAppNames())
+        names.push_back(name);
+
+    const auto t0 = clock_type::now();
+    for (const auto &name : names) {
+        const auto w = workloads::makeByName(name, size);
+        benchExec(w);
+        const auto profile = benchProfile(w);
+        benchVerify(w, profile);
+    }
+
+    bench::writeBenchJson("functional", g_runs, 1, secondsSince(t0));
+    std::fprintf(stderr, "wrote BENCH_functional.json\n");
+    return 0;
+}

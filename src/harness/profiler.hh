@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/flatmap.hh"
-#include "kisa/interp.hh"
+#include "kisa/exec_threaded.hh"
 #include "kisa/program.hh"
 #include "mem/config.hh"
 

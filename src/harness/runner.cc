@@ -209,7 +209,23 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
         if (obs::Tracer *tracer = observer->tracer();
             tracer != nullptr && !out.report.passes.empty()) {
             tracer->setTrackName(kCompilerTrack, "compiler passes");
+            // String literals: the tracer keeps event-name pointers.
+            const std::string &vt = out.report.verifyTier;
+            const char *verify_name =
+                vt == "threaded"    ? "verify/threaded"
+                : vt == "interp"    ? "verify/interp"
+                : vt == "evaluator" ? "verify/evaluator"
+                                    : nullptr;
             Tick now = 0;
+            if (verify_name != nullptr &&
+                out.report.refChecksumMs > 0.0) {
+                const Tick dur = std::max<Tick>(
+                    1, static_cast<Tick>(out.report.refChecksumMs *
+                                         1000.0));
+                tracer->span(now, now + dur, kCompilerTrack,
+                             verify_name);
+                now += dur;
+            }
             for (const auto &pass : out.report.passes) {
                 const Tick dur = std::max<Tick>(
                     1, static_cast<Tick>(pass.wallMs * 1000.0));
@@ -219,6 +235,14 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
                              static_cast<std::uint64_t>(pass.actions),
                              pass.skipped ? 1 : 0);
                 now += dur;
+                if (verify_name != nullptr && pass.verifyMs > 0.0) {
+                    const Tick vdur = std::max<Tick>(
+                        1,
+                        static_cast<Tick>(pass.verifyMs * 1000.0));
+                    tracer->span(now, now + vdur, kCompilerTrack,
+                                 verify_name);
+                    now += vdur;
+                }
             }
         }
     }

@@ -260,4 +260,34 @@ checksumArrays(const Kernel &kernel, const kisa::MemoryImage &mem)
     return hash;
 }
 
+void
+fillArraysSynthetic(const Kernel &kernel, kisa::MemoryImage &mem)
+{
+    int array_index = 0;
+    for (const auto &array : kernel.arrays) {
+        if (array.elem == ScalType::F64) {
+            const std::int64_t n = array.numElems();
+            for (std::int64_t i = 0; i < n; ++i) {
+                const double v =
+                    0.5 +
+                    static_cast<double>((i * 37 + array_index * 101) %
+                                        251) /
+                        251.0;
+                mem.stF64(array.base + static_cast<Addr>(i) * 8, v);
+            }
+        }
+        ++array_index;
+    }
+}
+
+void
+initKernelMemory(const Kernel &kernel, kisa::MemoryImage &mem,
+                 const std::function<void(kisa::MemoryImage &)> &init)
+{
+    if (init)
+        init(mem);
+    else
+        fillArraysSynthetic(kernel, mem);
+}
+
 } // namespace mpc::ir

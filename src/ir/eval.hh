@@ -15,6 +15,7 @@
 #define MPC_IR_EVAL_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -82,6 +83,25 @@ class Evaluator
  */
 std::uint64_t checksumArrays(const Kernel &kernel,
                              const kisa::MemoryImage &mem);
+
+/**
+ * Deterministic, varied fill of all F64 arrays of @p kernel (arrays
+ * must be laid out); I64 arrays stay zero — zero is the safe value for
+ * anything used as an index or pointer. This is the fallback fill for
+ * equivalence checks on kernels without a real initializer.
+ */
+void fillArraysSynthetic(const Kernel &kernel, kisa::MemoryImage &mem);
+
+/**
+ * Initialize @p mem for executing @p kernel: the workload's real
+ * initializer when provided, else fillArraysSynthetic. The single
+ * helper shared by the pipeline verifier, the functional benches, and
+ * the differential tests, so every execution tier starts from an
+ * identical image.
+ */
+void initKernelMemory(
+    const Kernel &kernel, kisa::MemoryImage &mem,
+    const std::function<void(kisa::MemoryImage &)> &init = {});
 
 } // namespace mpc::ir
 

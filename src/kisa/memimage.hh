@@ -58,6 +58,17 @@ class MemoryImage
     /** Number of resident pages (for tests). */
     size_t numPages() const { return pages_.size(); }
 
+    /**
+     * Raw backing words of the page containing @p addr, creating a
+     * zeroed page if absent. A page's storage is allocated once and
+     * never resized, so the pointer stays valid for the image's
+     * lifetime — the threaded execution tier caches these to bypass
+     * the hash lookup per access. Unlike ld64, reading through this
+     * pointer makes the page resident (contents are identical: zero);
+     * only numPages() can tell the difference.
+     */
+    std::uint64_t *pageWords(Addr addr) { return page(addr).data(); }
+
   private:
     std::vector<std::uint64_t> &
     page(Addr addr)

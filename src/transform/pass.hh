@@ -106,6 +106,13 @@ struct PassReport
     bool skipped = false;       ///< applicability precheck said no
     std::string detail;
 
+    /** Wall time of the post-pass verification (structural check plus
+     *  functional re-execution); 0 when verification was off or the
+     *  pass was skipped. The executing tier is PipelineReport's
+     *  verifyTier. Excluded from toString() — host timing stays off
+     *  stdout — but serialized and replayed onto the obs trace. */
+    double verifyMs = 0.0;
+
     std::string toString() const;
 };
 
@@ -132,6 +139,15 @@ struct PipelineReport
 
     std::vector<PassReport> passes;
     std::vector<VerifyFailure> verifyFailures;
+
+    /** Execution backend the functional equivalence checks ran on:
+     *  "interp" | "threaded" (kisa tiers) | "evaluator" (IR-level
+     *  fallback for kernels the lowered single-core run could block
+     *  on); empty when verification was off. */
+    std::string verifyTier;
+
+    /** Wall time of the pre-pipeline reference checksum run. */
+    double refChecksumMs = 0.0;
 
     /** The old DriverReport rendering: one line per nest. */
     std::string toString() const;

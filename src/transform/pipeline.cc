@@ -6,9 +6,11 @@
 #include <fstream>
 #include <set>
 
+#include "codegen/codegen.hh"
 #include "common/logging.hh"
 #include "ir/eval.hh"
 #include "ir/verify.hh"
+#include "kisa/exec_threaded.hh"
 
 namespace mpc::transform
 {
@@ -324,6 +326,7 @@ PipelineReport::toJson() const
         out += "\"pass\": ";
         jsonEscape(out, pr.pass);
         out += ", \"wallMs\": " + jsonNum(pr.wallMs);
+        out += ", \"verifyMs\": " + jsonNum(pr.verifyMs);
         out += strprintf(", \"actions\": %d", pr.actions);
         out += ", \"skipped\": ";
         out += pr.skipped ? "true" : "false";
@@ -332,7 +335,10 @@ PipelineReport::toJson() const
         out += "}";
     }
     out += passes.empty() ? "],\n" : "\n  ],\n";
-    out += "  \"verifyFailures\": [";
+    out += "  \"verifyTier\": ";
+    jsonEscape(out, verifyTier);
+    out += ",\n  \"refChecksumMs\": " + jsonNum(refChecksumMs);
+    out += ",\n  \"verifyFailures\": [";
     for (size_t i = 0; i < verifyFailures.size(); ++i) {
         out += i > 0 ? ",\n    {" : "\n    {";
         out += "\"pass\": ";
@@ -390,12 +396,15 @@ PipelineReport::fromJson(const std::string &json, PipelineReport &out)
             PassReport pr;
             pr.pass = strField(v, "pass");
             pr.wallMs = numField(v, "wallMs");
+            pr.verifyMs = numField(v, "verifyMs");
             pr.actions = static_cast<int>(numField(v, "actions"));
             pr.skipped = boolField(v, "skipped");
             pr.detail = strField(v, "detail");
             out.passes.push_back(std::move(pr));
         }
     }
+    out.verifyTier = strField(root, "verifyTier");
+    out.refChecksumMs = numField(root, "refChecksumMs");
     if (const JsonValue *fails = root.field("verifyFailures");
         fails != nullptr && fails->t == JsonValue::T::Arr) {
         for (const JsonValue &v : fails->arr)
@@ -629,32 +638,64 @@ syntheticallyEvaluable(const Kernel &kernel)
     return true;
 }
 
-/** Deterministic, varied fill of all F64 arrays; I64 arrays stay zero
- *  (zero is the safe value for anything used as an index or pointer). */
-void
-syntheticFill(const Kernel &kernel, kisa::MemoryImage &mem)
+/**
+ * Verification engine for the functional equivalence checks. The hot
+ * engines lower the kernel and execute the KISA program on a kisa
+ * execution tier; the IR-level Evaluator remains as the fallback for
+ * kernels whose lowered single-core run could block (FlagWait lowers
+ * to a real blocking wait, while the sequential IR semantics treat it
+ * as a no-op).
+ */
+enum class VerifyEngine
 {
-    int array_index = 0;
-    for (const auto &array : kernel.arrays) {
-        if (array.elem == ir::ScalType::F64) {
-            const std::int64_t n = array.numElems();
-            for (std::int64_t i = 0; i < n; ++i) {
-                const double v =
-                    0.5 +
-                    static_cast<double>((i * 37 + array_index * 101) %
-                                        251) /
-                        251.0;
-                mem.stF64(array.base + static_cast<Addr>(i) * 8, v);
-            }
-        }
-        ++array_index;
-    }
+    Evaluator,
+    KisaInterp,
+    KisaThreaded,
+};
+
+bool
+kernelHasFlagWait(const Kernel &kernel)
+{
+    bool found = false;
+    for (const auto &stmt : kernel.body)
+        ir::walkStmts(*stmt, [&](const Stmt &s) {
+            found |= s.kind == Stmt::Kind::FlagWait;
+        });
+    return found;
 }
 
-/** Clone, lay out (if needed), initialize memory, interpret, digest. */
+VerifyEngine
+pickVerifyEngine(const Kernel &kernel)
+{
+    if (kernelHasFlagWait(kernel))
+        return VerifyEngine::Evaluator;
+    return kisa::execTierFromEnv() == kisa::ExecTier::Interp
+               ? VerifyEngine::KisaInterp
+               : VerifyEngine::KisaThreaded;
+}
+
+const char *
+verifyEngineName(VerifyEngine engine)
+{
+    switch (engine) {
+      case VerifyEngine::Evaluator: return "evaluator";
+      case VerifyEngine::KisaInterp: return "interp";
+      case VerifyEngine::KisaThreaded: return "threaded";
+    }
+    return "unknown";
+}
+
+/**
+ * Clone, lay out (if needed), initialize memory, execute on
+ * @p engine, digest. Pre- and post-pass checksums always come from
+ * the same engine, so the equivalence property is engine-independent;
+ * the engines themselves are cross-checked bit-for-bit by the
+ * three-way tests (test_codegen, test_exec, test_workloads).
+ */
 std::uint64_t
 evalChecksum(const Kernel &kernel,
-             const std::function<void(kisa::MemoryImage &)> &init)
+             const std::function<void(kisa::MemoryImage &)> &init,
+             VerifyEngine engine)
 {
     Kernel clone = kernel.clone();
     bool laid_out = false;
@@ -663,16 +704,23 @@ evalChecksum(const Kernel &kernel,
     if (!laid_out && !clone.arrays.empty())
         ir::layoutArrays(clone);
     kisa::MemoryImage mem;
-    if (init)
-        init(mem);
-    else
-        syntheticFill(clone, mem);
-    ir::Evaluator eval(clone, mem);
-    // Single-processor semantics: partitioned kernels compute their
-    // block from these (and would divide by zero unseeded).
-    eval.setVar("__procid", 0);
-    eval.setVar("__nprocs", 1);
-    eval.run();
+    ir::initKernelMemory(clone, mem, init);
+    if (engine == VerifyEngine::Evaluator) {
+        ir::Evaluator eval(clone, mem);
+        // Single-processor semantics: partitioned kernels compute
+        // their block from these (and would divide by zero unseeded).
+        eval.setVar("__procid", 0);
+        eval.setVar("__nprocs", 1);
+        eval.run();
+    } else {
+        // Default CodegenOptions bake __procid=0/__nprocs=1, matching
+        // the evaluator seeding above.
+        const kisa::Program program = codegen::lower(clone);
+        kisa::execute(program, mem, 1ull << 32,
+                      engine == VerifyEngine::KisaInterp
+                          ? kisa::ExecTier::Interp
+                          : kisa::ExecTier::Threaded);
+    }
     return ir::checksumArrays(clone, mem);
 }
 
@@ -722,15 +770,27 @@ Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
 
     bool can_eval = false;
     std::uint64_t ref_checksum = 0;
+    // The engine is picked once per run from the input kernel, so the
+    // reference and every post-pass checksum come from the same
+    // backend regardless of when MPC_EXEC_TIER is read elsewhere.
+    VerifyEngine engine = VerifyEngine::Evaluator;
     if (mode != VerifyMode::Off) {
+        engine = pickVerifyEngine(kernel);
+        report.verifyTier = verifyEngineName(engine);
         const std::string err = ir::verify(kernel);
         if (!err.empty())
             failVerify(mode, "(input)", err, kernel, report);
         if (report.verifyFailures.empty()) {
             can_eval = static_cast<bool>(initMemory) ||
                        syntheticallyEvaluable(kernel);
-            if (can_eval)
-                ref_checksum = evalChecksum(kernel, initMemory);
+            if (can_eval) {
+                const auto v0 = std::chrono::steady_clock::now();
+                ref_checksum = evalChecksum(kernel, initMemory, engine);
+                report.refChecksumMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - v0)
+                        .count();
+            }
         }
     }
 
@@ -752,6 +812,7 @@ Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
             if (afterPass)
                 afterPass(pass->name(), kernel);
             if (mode != VerifyMode::Off && !skipped) {
+                const auto v0 = std::chrono::steady_clock::now();
                 // Transformations may materialize new references
                 // (e.g. the pointer-chase jam's chain loads) that
                 // only get refIds on the next assignRefIds, so the
@@ -761,7 +822,7 @@ Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
                 std::string err = ir::verify(kernel, opts);
                 if (err.empty() && can_eval) {
                     const std::uint64_t sum =
-                        evalChecksum(kernel, initMemory);
+                        evalChecksum(kernel, initMemory, engine);
                     if (sum != ref_checksum)
                         err = strprintf(
                             "functional equivalence check failed: "
@@ -771,6 +832,10 @@ Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
                             static_cast<unsigned long long>(
                                 ref_checksum));
                 }
+                report.passes.back().verifyMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - v0)
+                        .count();
                 if (!err.empty()) {
                     failVerify(mode, pass->name(), err, kernel, report);
                     break;  // Record mode: abort remaining passes.

@@ -14,8 +14,11 @@
  * checker and — when the kernel is evaluable — a functional
  * equivalence check against the pre-pipeline kernel: the kernel is
  * cloned, memory is initialized (through Pipeline::initMemory or a
- * deterministic synthetic fill), the reference interpreter runs it,
- * and the array checksum must match the pre-pipeline checksum. Since
+ * deterministic synthetic fill), the kernel is lowered and executed
+ * on the KISA tier selected by MPC_EXEC_TIER (kernels containing
+ * FlagWait fall back to the IR evaluator, whose sequential semantics
+ * treat waits as no-ops), and the array checksum must match the
+ * pre-pipeline checksum — both sides always from the same engine. Since
  * every pass must be semantics-preserving, comparing each post-pass
  * checksum to the pipeline-input checksum names the first failing
  * pass. On failure the offending IR is dumped (MPC_VERIFY_DUMP, or

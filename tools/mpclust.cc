@@ -19,6 +19,9 @@
  *                    separated pass names, e.g. "cluster,prefetch")
  *                    instead of the default driver pipeline
  *   --dump-ir MODE   dump the IR ("after-each-pass") while transforming
+ *   --exec-tier T    functional-execution backend for profiling and
+ *                    per-pass verification: interp | threaded
+ *                    (default: $MPC_EXEC_TIER, else threaded)
  *   --list-passes    list the registered passes and exit
  *   --show-kernel    print the (transformed) kernel IR
  *   --show-refs      per-reference L2 access/miss counts (clustered run)
@@ -59,7 +62,8 @@ usage(const char *argv0)
                  "[--config base|1ghz|exemplar]\n"
                  "       [--base-only|--clust-only] [--prefetch N] "
                  "[--max-unroll N]\n"
-                 "       [--pipeline SPEC] [--dump-ir after-each-pass]\n"
+                 "       [--pipeline SPEC] [--dump-ir after-each-pass] "
+                 "[--exec-tier interp|threaded]\n"
                  "       [--show-kernel] [--show-mshr] "
                  "[--show-metrics] [--trace PATH]\n"
                  "       | --list | --list-passes\n",
@@ -156,7 +160,20 @@ main(int argc, char **argv)
             pipeline_spec = next();
         else if (arg == "--dump-ir")
             dump_ir = next();
-        else
+        else if (arg == "--exec-tier") {
+            const char *tier = next();
+            if (std::strcmp(tier, "interp") != 0 &&
+                std::strcmp(tier, "threaded") != 0) {
+                std::fprintf(stderr,
+                             "mpclust: bad --exec-tier '%s' (expected "
+                             "interp|threaded)\n",
+                             tier);
+                return 2;
+            }
+            // Everything downstream (profiler, pipeline verification,
+            // workload init) reads MPC_EXEC_TIER via execTierFromEnv.
+            setenv("MPC_EXEC_TIER", tier, 1);
+        } else
             usage(argv[0]);
     }
 
