@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal JSON support shared by the report/serialization layers: a
+ * recursive-descent parser for the subset our own emitters produce
+ * (objects, arrays, strings with the common escapes, numbers, bools),
+ * plus the escaping/number-formatting helpers those emitters share.
+ *
+ * This is deliberately not a general JSON library: inputs are our own
+ * BENCH_*.json / PipelineReport / autotune-cache files, and the parser
+ * accepts exactly what the writers emit (plus whitespace). Promoted
+ * from transform/pipeline.cc when the autotuner result cache became a
+ * second consumer.
+ */
+
+#ifndef MPC_COMMON_JSON_HH
+#define MPC_COMMON_JSON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpc::json
+{
+
+/** A parsed JSON value (tagged union over the supported subset). */
+struct Value
+{
+    enum class T { Null, Bool, Num, Str, Arr, Obj };
+    T t = T::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::map<std::string, Value> obj;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    field(const std::string &name) const
+    {
+        const auto it = obj.find(name);
+        return it == obj.end() ? nullptr : &it->second;
+    }
+};
+
+/** Parse @p text into @p out. @return false on malformed input. */
+bool parse(const std::string &text, Value &out);
+
+/** Append @p s to @p out as a quoted, escaped JSON string literal. */
+void escape(std::string &out, const std::string &s);
+
+/** Render a double so it round-trips exactly (%.17g), keeping a
+ *  float-looking literal ("1.0", not "1"). */
+std::string num(double v);
+
+// --- typed field accessors (tolerant: default on absent/mistyped) ----
+
+double numField(const Value &v, const std::string &name,
+                double dflt = 0.0);
+std::string strField(const Value &v, const std::string &name);
+bool boolField(const Value &v, const std::string &name);
+
+} // namespace mpc::json
+
+#endif // MPC_COMMON_JSON_HH

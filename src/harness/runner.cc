@@ -98,6 +98,54 @@ makePipeline(const std::string &spec, const workloads::Workload &workload,
 
 } // namespace
 
+transform::DriverParams
+makeDriverParams(const workloads::Workload &workload,
+                 const ir::Kernel &kernel,
+                 const sys::SystemConfig &config, int procs,
+                 int max_unroll)
+{
+    // Profile P_m on the base uniprocessor binary with the target
+    // cache geometry (Section 3.2.2: "measured through cache
+    // simulation or profiling").
+    kisa::MemoryImage scratch;
+    workload.init(scratch);
+    const kisa::Program base_prog = codegen::lower(kernel);
+    const auto &geometry =
+        config.hier.singleLevel ? config.hier.l1 : config.hier.l2;
+    const CacheProfile profile =
+        CacheProfile::measure(base_prog, scratch, geometry);
+
+    transform::DriverParams params;
+    params.lp = geometry.numMshrs;
+    params.windowSize = config.core.windowSize;
+    params.lineBytes = geometry.lineBytes;
+    params.maxUnroll = max_unroll;
+    params.bodySize = codegen::loweredBodySize;
+    params.missRate = [profile](int ref_id) {
+        return profile.missRate(ref_id);
+    };
+    if (procs > 1) {
+        // Run-matched profile: the partitioned per-core programs
+        // through per-core caches with write-invalidation, so the
+        // driver can see when partitioning shrank a stream's
+        // footprint below the cache and its static miss estimate
+        // stopped being realizable (communication misses only).
+        kisa::MemoryImage multi_scratch;
+        workload.init(multi_scratch);
+        const auto per_core =
+            codegen::lowerForCores(kernel, procs, false, {});
+        const CacheProfile realized = CacheProfile::measureMulti(
+            per_core, multi_scratch, geometry);
+        params.realizedMissRate = [realized](int ref_id) {
+            return realized.missRate(ref_id);
+        };
+        params.realizedAccesses = [realized](int ref_id) {
+            return realized.accesses(ref_id);
+        };
+    }
+    return params;
+}
+
 WorkloadRun
 runWorkload(const workloads::Workload &workload, const RunSpec &spec)
 {
@@ -126,46 +174,8 @@ runWorkload(const workloads::Workload &workload, const RunSpec &spec)
     }
 
     if (transforming) {
-        // Profile P_m on the base uniprocessor binary with the target
-        // cache geometry (Section 3.2.2: "measured through cache
-        // simulation or profiling").
-        kisa::MemoryImage scratch;
-        workload.init(scratch);
-        const kisa::Program base_prog = codegen::lower(kernel);
-        const auto &geometry = config.hier.singleLevel
-                                   ? config.hier.l1
-                                   : config.hier.l2;
-        const CacheProfile profile =
-            CacheProfile::measure(base_prog, scratch, geometry);
-
-        transform::DriverParams params;
-        params.lp = geometry.numMshrs;
-        params.windowSize = config.core.windowSize;
-        params.lineBytes = geometry.lineBytes;
-        params.maxUnroll = spec.maxUnroll;
-        params.bodySize = codegen::loweredBodySize;
-        params.missRate = [profile](int ref_id) {
-            return profile.missRate(ref_id);
-        };
-        if (spec.procs > 1) {
-            // Run-matched profile: the partitioned per-core programs
-            // through per-core caches with write-invalidation, so the
-            // driver can see when partitioning shrank a stream's
-            // footprint below the cache and its static miss estimate
-            // stopped being realizable (communication misses only).
-            kisa::MemoryImage multi_scratch;
-            workload.init(multi_scratch);
-            const auto per_core =
-                codegen::lowerForCores(kernel, spec.procs, false, {});
-            const CacheProfile realized = CacheProfile::measureMulti(
-                per_core, multi_scratch, geometry);
-            params.realizedMissRate = [realized](int ref_id) {
-                return realized.missRate(ref_id);
-            };
-            params.realizedAccesses = [realized](int ref_id) {
-                return realized.accesses(ref_id);
-            };
-        }
+        const transform::DriverParams params = makeDriverParams(
+            workload, kernel, config, spec.procs, spec.maxUnroll);
         const std::string spec_string =
             spec.pipeline.empty()
                 ? transform::pipelineSpecFromParams(params)

@@ -75,6 +75,21 @@ PairResult runPair(const workloads::Workload &workload,
 sys::SystemConfig scaleConfig(sys::SystemConfig config,
                               const workloads::Workload &workload);
 
+/**
+ * Build the transformation driver's parameters for @p workload on
+ * @p config: machine knobs (lp from the MSHR count, window size, line
+ * bytes) plus the profiled per-reference miss rates Section 3.2.2
+ * calls for — measured by functionally executing the UNtransformed
+ * @p kernel (already partitioned when @p procs > 1) against the target
+ * cache geometry, with the run-matched multiprocessor profile attached
+ * when @p procs > 1. Candidate-independent, so the autotuner profiles
+ * once and reuses the result across every pipeline spec it tries;
+ * runWorkload calls this on its transforming path.
+ */
+transform::DriverParams makeDriverParams(
+    const workloads::Workload &workload, const ir::Kernel &kernel,
+    const sys::SystemConfig &config, int procs, int maxUnroll);
+
 } // namespace mpc::harness
 
 #endif // MPC_HARNESS_RUNNER_HH

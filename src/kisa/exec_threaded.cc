@@ -1,5 +1,6 @@
 #include "kisa/exec_threaded.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -7,6 +8,14 @@
 
 namespace mpc::kisa
 {
+
+namespace
+{
+
+// -1 = unpinned (consult the environment); otherwise the pinned tier.
+std::atomic<int> g_tier_pin{-1};
+
+} // namespace
 
 // The handler table (and the computed-goto label table in the header)
 // enumerate every opcode by its enum value; adding an opcode without
@@ -22,6 +31,9 @@ static_assert(detail::numHandlers == 53,
 ExecTier
 execTierFromEnv()
 {
+    const int pin = g_tier_pin.load(std::memory_order_relaxed);
+    if (pin >= 0)
+        return static_cast<ExecTier>(pin);
     const char *env = std::getenv("MPC_EXEC_TIER");
     if (env == nullptr || *env == '\0')
         return ExecTier::Threaded;
@@ -31,6 +43,24 @@ execTierFromEnv()
         return ExecTier::Threaded;
     fatal("MPC_EXEC_TIER: unknown tier '%s' (expected interp|threaded)",
           env);
+}
+
+void
+pinExecTier(ExecTier tier)
+{
+    g_tier_pin.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void
+clearExecTierPin()
+{
+    g_tier_pin.store(-1, std::memory_order_relaxed);
+}
+
+bool
+execTierPinned()
+{
+    return g_tier_pin.load(std::memory_order_relaxed) >= 0;
 }
 
 const char *

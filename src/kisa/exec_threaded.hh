@@ -54,11 +54,26 @@ enum class ExecTier
 };
 
 /**
- * Tier selected by MPC_EXEC_TIER ("interp" | "threaded"; unset or
- * empty means threaded; anything else is fatal). Read fresh on every
- * call — no static cache — so tests can flip the knob with setenv.
+ * Tier selected by the process-wide pin when set (pinExecTier), else by
+ * MPC_EXEC_TIER ("interp" | "threaded"; unset or empty means threaded;
+ * anything else is fatal). The environment is read fresh on every
+ * unpinned call — no static cache — so tests can flip the knob with
+ * setenv.
  */
 ExecTier execTierFromEnv();
+
+/**
+ * Pin the tier for the whole process, overriding MPC_EXEC_TIER until
+ * clearExecTierPin(). Tools that take a --exec-tier flag resolve the
+ * flag/environment precedence ONCE at startup and pin the result, so a
+ * run cannot mix tiers if the environment changes mid-invocation (and
+ * a flag always beats an inherited environment variable).
+ */
+void pinExecTier(ExecTier tier);
+void clearExecTierPin();
+
+/** Is a pin currently in force? (tests) */
+bool execTierPinned();
 
 /** "interp" or "threaded". */
 const char *execTierName(ExecTier tier);

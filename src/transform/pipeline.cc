@@ -7,6 +7,7 @@
 #include <set>
 
 #include "codegen/codegen.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "ir/eval.hh"
 #include "ir/verify.hh"
@@ -80,215 +81,13 @@ PipelineReport::toString() const
 }
 
 // --- JSON ------------------------------------------------------------
+// Serialization uses the shared common/json helpers (the parser there
+// was promoted from this file when the autotune cache became a second
+// consumer).
 
-namespace
-{
-
-void
-jsonEscape(std::string &out, const std::string &s)
-{
-    out += '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    out += '"';
-}
-
-std::string
-jsonNum(double v)
-{
-    // %.17g round-trips IEEE doubles exactly.
-    std::string s = strprintf("%.17g", v);
-    if (s.find_first_of(".eEn") == std::string::npos)
-        s += ".0";  // keep a float-looking literal
-    return s;
-}
-
-/** Minimal JSON value + recursive-descent parser (accepts exactly the
- *  subset toJson() emits, plus whitespace). */
-struct JsonValue
-{
-    enum class T { Null, Bool, Num, Str, Arr, Obj };
-    T t = T::Null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<JsonValue> arr;
-    std::map<std::string, JsonValue> obj;
-
-    const JsonValue *
-    field(const std::string &name) const
-    {
-        const auto it = obj.find(name);
-        return it == obj.end() ? nullptr : &it->second;
-    }
-};
-
-struct JsonParser
-{
-    const std::string &s;
-    size_t i = 0;
-    bool ok = true;
-
-    void skipWs()
-    {
-        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
-                                s[i] == '\t' || s[i] == '\r'))
-            ++i;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (i < s.size() && s[i] == c) {
-            ++i;
-            return true;
-        }
-        ok = false;
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        JsonValue v;
-        skipWs();
-        if (!ok || i >= s.size()) {
-            ok = false;
-            return v;
-        }
-        const char c = s[i];
-        if (c == '{') {
-            ++i;
-            v.t = JsonValue::T::Obj;
-            skipWs();
-            if (i < s.size() && s[i] == '}') {
-                ++i;
-                return v;
-            }
-            for (;;) {
-                JsonValue key = parseValue();
-                if (!ok || key.t != JsonValue::T::Str || !consume(':')) {
-                    ok = false;
-                    return v;
-                }
-                v.obj[key.str] = parseValue();
-                if (!ok)
-                    return v;
-                skipWs();
-                if (i < s.size() && s[i] == ',') {
-                    ++i;
-                    continue;
-                }
-                consume('}');
-                return v;
-            }
-        } else if (c == '[') {
-            ++i;
-            v.t = JsonValue::T::Arr;
-            skipWs();
-            if (i < s.size() && s[i] == ']') {
-                ++i;
-                return v;
-            }
-            for (;;) {
-                v.arr.push_back(parseValue());
-                if (!ok)
-                    return v;
-                skipWs();
-                if (i < s.size() && s[i] == ',') {
-                    ++i;
-                    continue;
-                }
-                consume(']');
-                return v;
-            }
-        } else if (c == '"') {
-            ++i;
-            v.t = JsonValue::T::Str;
-            while (i < s.size() && s[i] != '"') {
-                if (s[i] == '\\' && i + 1 < s.size()) {
-                    ++i;
-                    switch (s[i]) {
-                      case 'n': v.str += '\n'; break;
-                      case 't': v.str += '\t'; break;
-                      case 'u':
-                        if (i + 4 < s.size()) {
-                            v.str += static_cast<char>(
-                                std::strtol(s.substr(i + 1, 4).c_str(),
-                                            nullptr, 16));
-                            i += 4;
-                        } else {
-                            ok = false;
-                        }
-                        break;
-                      default: v.str += s[i]; break;
-                    }
-                    ++i;
-                } else {
-                    v.str += s[i++];
-                }
-            }
-            if (!consume('"'))
-                ok = false;
-            return v;
-        } else if (c == 't' || c == 'f') {
-            const std::string word = c == 't' ? "true" : "false";
-            if (s.compare(i, word.size(), word) == 0) {
-                v.t = JsonValue::T::Bool;
-                v.b = c == 't';
-                i += word.size();
-            } else {
-                ok = false;
-            }
-            return v;
-        } else {
-            char *end = nullptr;
-            v.t = JsonValue::T::Num;
-            v.num = std::strtod(s.c_str() + i, &end);
-            if (end == s.c_str() + i)
-                ok = false;
-            else
-                i = static_cast<size_t>(end - s.c_str());
-            return v;
-        }
-    }
-};
-
-double
-numField(const JsonValue &v, const std::string &name, double dflt = 0.0)
-{
-    const JsonValue *f = v.field(name);
-    return f != nullptr && f->t == JsonValue::T::Num ? f->num : dflt;
-}
-
-std::string
-strField(const JsonValue &v, const std::string &name)
-{
-    const JsonValue *f = v.field(name);
-    return f != nullptr && f->t == JsonValue::T::Str ? f->str
-                                                     : std::string();
-}
-
-bool
-boolField(const JsonValue &v, const std::string &name)
-{
-    const JsonValue *f = v.field(name);
-    return f != nullptr && f->t == JsonValue::T::Bool && f->b;
-}
-
-} // namespace
+using json::boolField;
+using json::numField;
+using json::strField;
 
 std::string
 PipelineReport::toJson() const
@@ -298,12 +97,12 @@ PipelineReport::toJson() const
         const NestReport &nr = nests[i];
         out += i > 0 ? ",\n    {" : "\n    {";
         out += "\"loopVar\": ";
-        jsonEscape(out, nr.loopVar);
-        out += ", \"alpha\": " + jsonNum(nr.alpha);
+        json::escape(out, nr.loopVar);
+        out += ", \"alpha\": " + json::num(nr.alpha);
         out += ", \"addressRecurrence\": ";
         out += nr.addressRecurrence ? "true" : "false";
-        out += ", \"fBefore\": " + jsonNum(nr.fBefore);
-        out += ", \"fAfter\": " + jsonNum(nr.fAfter);
+        out += ", \"fBefore\": " + json::num(nr.fBefore);
+        out += ", \"fAfter\": " + json::num(nr.fAfter);
         out += strprintf(", \"unrollDegree\": %d", nr.unrollDegree);
         out += strprintf(", \"innerUnrollDegree\": %d",
                          nr.innerUnrollDegree);
@@ -312,7 +111,7 @@ PipelineReport::toJson() const
         out += ", \"postludeInterchanged\": ";
         out += nr.postludeInterchanged ? "true" : "false";
         out += ", \"note\": ";
-        jsonEscape(out, nr.note);
+        json::escape(out, nr.note);
         out += "}";
     }
     out += nests.empty() ? "],\n" : "\n  ],\n";
@@ -324,27 +123,27 @@ PipelineReport::toJson() const
         const PassReport &pr = passes[i];
         out += i > 0 ? ",\n    {" : "\n    {";
         out += "\"pass\": ";
-        jsonEscape(out, pr.pass);
-        out += ", \"wallMs\": " + jsonNum(pr.wallMs);
-        out += ", \"verifyMs\": " + jsonNum(pr.verifyMs);
+        json::escape(out, pr.pass);
+        out += ", \"wallMs\": " + json::num(pr.wallMs);
+        out += ", \"verifyMs\": " + json::num(pr.verifyMs);
         out += strprintf(", \"actions\": %d", pr.actions);
         out += ", \"skipped\": ";
         out += pr.skipped ? "true" : "false";
         out += ", \"detail\": ";
-        jsonEscape(out, pr.detail);
+        json::escape(out, pr.detail);
         out += "}";
     }
     out += passes.empty() ? "],\n" : "\n  ],\n";
     out += "  \"verifyTier\": ";
-    jsonEscape(out, verifyTier);
-    out += ",\n  \"refChecksumMs\": " + jsonNum(refChecksumMs);
+    json::escape(out, verifyTier);
+    out += ",\n  \"refChecksumMs\": " + json::num(refChecksumMs);
     out += ",\n  \"verifyFailures\": [";
     for (size_t i = 0; i < verifyFailures.size(); ++i) {
         out += i > 0 ? ",\n    {" : "\n    {";
         out += "\"pass\": ";
-        jsonEscape(out, verifyFailures[i].pass);
+        json::escape(out, verifyFailures[i].pass);
         out += ", \"what\": ";
-        jsonEscape(out, verifyFailures[i].what);
+        json::escape(out, verifyFailures[i].what);
         out += "}";
     }
     out += verifyFailures.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -352,17 +151,16 @@ PipelineReport::toJson() const
 }
 
 bool
-PipelineReport::fromJson(const std::string &json, PipelineReport &out)
+PipelineReport::fromJson(const std::string &text, PipelineReport &out)
 {
-    JsonParser parser{json};
-    const JsonValue root = parser.parseValue();
-    if (!parser.ok || root.t != JsonValue::T::Obj)
+    json::Value root;
+    if (!json::parse(text, root) || root.t != json::Value::T::Obj)
         return false;
     out = PipelineReport();
-    if (const JsonValue *nests = root.field("nests");
-        nests != nullptr && nests->t == JsonValue::T::Arr) {
-        for (const JsonValue &v : nests->arr) {
-            if (v.t != JsonValue::T::Obj)
+    if (const json::Value *nests = root.field("nests");
+        nests != nullptr && nests->t == json::Value::T::Arr) {
+        for (const json::Value &v : nests->arr) {
+            if (v.t != json::Value::T::Obj)
                 return false;
             NestReport nr;
             nr.loopVar = strField(v, "loopVar");
@@ -383,15 +181,15 @@ PipelineReport::fromJson(const std::string &json, PipelineReport &out)
             out.nests.push_back(std::move(nr));
         }
     }
-    if (const JsonValue *ids = root.field("leadingRefIds");
-        ids != nullptr && ids->t == JsonValue::T::Arr) {
-        for (const JsonValue &v : ids->arr)
+    if (const json::Value *ids = root.field("leadingRefIds");
+        ids != nullptr && ids->t == json::Value::T::Arr) {
+        for (const json::Value &v : ids->arr)
             out.leadingRefIds.push_back(static_cast<int>(v.num));
     }
-    if (const JsonValue *passes = root.field("passes");
-        passes != nullptr && passes->t == JsonValue::T::Arr) {
-        for (const JsonValue &v : passes->arr) {
-            if (v.t != JsonValue::T::Obj)
+    if (const json::Value *passes = root.field("passes");
+        passes != nullptr && passes->t == json::Value::T::Arr) {
+        for (const json::Value &v : passes->arr) {
+            if (v.t != json::Value::T::Obj)
                 return false;
             PassReport pr;
             pr.pass = strField(v, "pass");
@@ -405,9 +203,9 @@ PipelineReport::fromJson(const std::string &json, PipelineReport &out)
     }
     out.verifyTier = strField(root, "verifyTier");
     out.refChecksumMs = numField(root, "refChecksumMs");
-    if (const JsonValue *fails = root.field("verifyFailures");
-        fails != nullptr && fails->t == JsonValue::T::Arr) {
-        for (const JsonValue &v : fails->arr)
+    if (const json::Value *fails = root.field("verifyFailures");
+        fails != nullptr && fails->t == json::Value::T::Arr) {
+        for (const json::Value &v : fails->arr)
             out.verifyFailures.push_back(
                 {strField(v, "pass"), strField(v, "what")});
     }
@@ -504,16 +302,96 @@ defaultPipelineSpec()
            "inner-unroll";
 }
 
+namespace
+{
+
+/** One legal knob: which pass carries it and which DriverParams field
+ *  it overwrites. The grammar is exactly this table. */
+struct KnobDef
+{
+    const char *pass;
+    const char *knob;
+    int DriverParams::*field;
+};
+
+constexpr KnobDef kKnobDefs[] = {
+    {"cluster", "maxDegree", &DriverParams::maxUnroll},
+    {"inner-unroll", "factor", &DriverParams::maxInnerUnroll},
+    {"prefetch", "dist", &DriverParams::prefetchDistanceLines},
+};
+
+const KnobDef *
+findKnobDef(const std::string &pass, const std::string &knob)
+{
+    for (const KnobDef &def : kKnobDefs)
+        if (pass == def.pass && knob == def.knob)
+            return &def;
+    return nullptr;
+}
+
+std::string
+trimWs(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split on @p sep at paren depth 0, so "cluster(maxDegree=8),fuse"
+ *  yields two entries and "(a=1,b=2)" stays whole. */
+std::vector<std::string>
+splitTopLevel(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (const char c : s) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == sep && depth == 0) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
 std::string
 pipelineSpecFromParams(const DriverParams &params)
 {
-    std::string spec = "fuse,cluster";
+    static const DriverParams defaults;
+    const auto withKnobs = [&](const char *pass) {
+        std::string entry = pass;
+        std::string knobs;
+        for (const KnobDef &def : kKnobDefs) {
+            if (std::string(def.pass) != pass ||
+                params.*def.field == defaults.*def.field)
+                continue;
+            if (!knobs.empty())
+                knobs += ",";
+            knobs += strprintf("%s=%d", def.knob, params.*def.field);
+        }
+        if (!knobs.empty())
+            entry += "(" + knobs + ")";
+        return entry;
+    };
+    std::string spec = "fuse," + withKnobs("cluster");
     if (params.enablePostludeInterchange)
         spec += ",postlude-interchange";
     if (params.enableScalarReplacement)
         spec += ",scalar-replace";
     if (params.enableInnerUnroll)
-        spec += ",inner-unroll";
+        spec += "," + withKnobs("inner-unroll");
     return spec;
 }
 
@@ -522,39 +400,43 @@ Pipeline::parse(const std::string &spec, Pipeline &out,
                 std::string &error)
 {
     out.passes_.clear();
+    out.knobs_.clear();
     error.clear();
 
-    std::vector<std::string> names;
-    std::string cur;
-    const auto flush = [&] {
-        // Trim surrounding whitespace.
-        size_t b = 0, e = cur.size();
-        while (b < e && (cur[b] == ' ' || cur[b] == '\t'))
-            ++b;
-        while (e > b && (cur[e - 1] == ' ' || cur[e - 1] == '\t'))
-            --e;
-        names.push_back(cur.substr(b, e - b));
-        cur.clear();
-    };
-    for (const char c : spec) {
-        if (c == ',')
-            flush();
-        else
-            cur += c;
-    }
-    flush();
-    if (names.size() == 1 && names[0].empty()) {
+    const std::vector<std::string> entries = splitTopLevel(spec, ',');
+    if (entries.size() == 1 && trimWs(entries[0]).empty()) {
         error = "empty pipeline spec";
         return false;
     }
 
     const PassRegistry &registry = PassRegistry::instance();
     std::set<std::string> seen;
-    for (const std::string &name : names) {
+    for (const std::string &raw : entries) {
+        const std::string entry = trimWs(raw);
+        if (entry.empty()) {
+            error = "empty pass name in spec '" + spec + "'";
+            return false;
+        }
+
+        // Split off a trailing "(...)" knob list, if any.
+        std::string name = entry;
+        std::string knob_list;
+        const size_t open = entry.find('(');
+        if (open != std::string::npos) {
+            if (entry.back() != ')') {
+                error = "malformed knob list in '" + entry +
+                        "' (expected 'pass(knob=value,...)')";
+                return false;
+            }
+            name = trimWs(entry.substr(0, open));
+            knob_list =
+                entry.substr(open + 1, entry.size() - open - 2);
+        }
         if (name.empty()) {
             error = "empty pass name in spec '" + spec + "'";
             return false;
         }
+
         Pass *pass = registry.find(name);
         if (pass == nullptr) {
             error = "unknown pass '" + name + "'; known passes:";
@@ -568,6 +450,52 @@ Pipeline::parse(const std::string &spec, Pipeline &out,
             return false;
         }
         out.passes_.push_back(pass);
+
+        if (open == std::string::npos)
+            continue;
+        std::set<std::string> knob_seen;
+        for (const std::string &raw_knob :
+             splitTopLevel(knob_list, ',')) {
+            const std::string item = trimWs(raw_knob);
+            if (item.empty()) {
+                error = "empty knob in '" + entry + "'";
+                return false;
+            }
+            const size_t eq = item.find('=');
+            if (eq == std::string::npos) {
+                error = "knob '" + item + "' in '" + name +
+                        "' is missing '=value'";
+                return false;
+            }
+            const std::string knob = trimWs(item.substr(0, eq));
+            const std::string value_str = trimWs(item.substr(eq + 1));
+            const KnobDef *def = findKnobDef(name, knob);
+            if (def == nullptr) {
+                error = "unknown knob '" + knob + "' for pass '" +
+                        name + "'; known knobs:";
+                for (const KnobDef &known : kKnobDefs)
+                    error += strprintf(" %s(%s)", known.pass,
+                                       known.knob);
+                return false;
+            }
+            if (!knob_seen.insert(knob).second) {
+                error = "duplicate knob '" + knob + "' in '" + entry +
+                        "'";
+                return false;
+            }
+            char *end = nullptr;
+            const long value =
+                std::strtol(value_str.c_str(), &end, 10);
+            if (value_str.empty() || end == nullptr || *end != '\0' ||
+                value <= 0 || value > 1 << 20) {
+                error = "knob '" + knob + "' in '" + name +
+                        "' needs a positive integer, got '" +
+                        value_str + "'";
+                return false;
+            }
+            out.knobs_.push_back(
+                {name, knob, static_cast<int>(value)});
+        }
     }
     return true;
 }
@@ -579,6 +507,38 @@ Pipeline::passNames() const
     for (const Pass *pass : passes_)
         out.push_back(pass->name());
     return out;
+}
+
+std::string
+Pipeline::spec() const
+{
+    std::string out;
+    for (const Pass *pass : passes_) {
+        if (!out.empty())
+            out += ",";
+        out += pass->name();
+        std::string knobs;
+        for (const PassKnob &knob : knobs_) {
+            if (knob.pass != pass->name())
+                continue;
+            if (!knobs.empty())
+                knobs += ",";
+            knobs += strprintf("%s=%d", knob.name.c_str(), knob.value);
+        }
+        if (!knobs.empty())
+            out += "(" + knobs + ")";
+    }
+    return out;
+}
+
+void
+Pipeline::applyKnobs(DriverParams &params) const
+{
+    for (const PassKnob &knob : knobs_) {
+        const KnobDef *def = findKnobDef(knob.pass, knob.name);
+        MPC_ASSERT(def != nullptr, "parsed knob lost its definition");
+        params.*def->field = knob.value;
+    }
 }
 
 // --- verification ----------------------------------------------------
@@ -750,6 +710,23 @@ failVerify(VerifyMode mode, const std::string &pass,
 
 } // namespace
 
+bool
+functionallyCheckable(const ir::Kernel &kernel, bool has_init)
+{
+    return has_init || syntheticallyEvaluable(kernel);
+}
+
+std::uint64_t
+functionalChecksum(const ir::Kernel &kernel,
+                   const std::function<void(kisa::MemoryImage &)> &init,
+                   std::string *engine_name)
+{
+    const VerifyEngine engine = pickVerifyEngine(kernel);
+    if (engine_name != nullptr)
+        *engine_name = verifyEngineName(engine);
+    return evalChecksum(kernel, init, engine);
+}
+
 // --- execution -------------------------------------------------------
 
 PipelineReport
@@ -757,7 +734,11 @@ Pipeline::run(ir::Kernel &kernel, const DriverParams &params) const
 {
     ir::assignRefIds(kernel);
     PipelineReport report;
-    PassContext ctx(params, toAnalysisParams(params));
+    // Per-pass knobs overwrite their DriverParams fields on a copy, so
+    // a knob-carrying spec fully describes the variant being run.
+    DriverParams tuned = params;
+    applyKnobs(tuned);
+    PassContext ctx(tuned, toAnalysisParams(tuned));
     ctx.scheduledPasses = passNames();
 
     VerifyMode mode = verifyMode;

@@ -5,9 +5,24 @@
  *
  * Pipelines are specified as comma-separated pass names resolved
  * through the string-keyed PassRegistry ("fuse,cluster,prefetch"), so
- * the harness, the benches, and `mpclust --pipeline=<spec>` all select
- * transformation variants through one factory. The default spec
- * reproduces the old applyClustering driver exactly.
+ * the harness, the benches, `mpclust --pipeline=<spec>`, and the
+ * mpctune autotuner all select transformation variants through one
+ * factory. The default spec reproduces the old applyClustering driver
+ * exactly.
+ *
+ * Knob grammar: a pass name may carry per-pass knobs in parentheses,
+ * e.g. "cluster(maxDegree=8),prefetch(dist=4)". Each knob maps onto
+ * the DriverParams field the pass reads — cluster(maxDegree) caps the
+ * unroll-and-jam binary search (DriverParams::maxUnroll),
+ * inner-unroll(factor) caps the window-constraint unroll
+ * (maxInnerUnroll), prefetch(dist) sets the prefetch distance in lines
+ * (prefetchDistanceLines). Knobs are applied to a copy of the caller's
+ * DriverParams at the start of run(), so a knob-carrying spec is a
+ * self-contained description of a transformation variant — exactly
+ * what the autotuner searches over and hashes into its cache keys.
+ * Whitespace around names, knobs, and values is tolerated; duplicate
+ * pass names, empty entries, unknown knobs, and non-positive values
+ * are rejected with the offending token named.
  *
  * Verification (MPC_VERIFY_PASSES=1, or VerifyMode set explicitly):
  * after every pass the pipeline runs the ir::verify() structural
@@ -76,18 +91,42 @@ enum class VerifyMode
     Record,     ///< record the failure, abort remaining passes
 };
 
+/** One parsed per-pass knob: pass(name=value). */
+struct PassKnob
+{
+    std::string pass;
+    std::string name;
+    int value = 0;
+};
+
 class Pipeline
 {
   public:
     /**
-     * Resolve a comma-separated pass spec ("fuse,cluster,prefetch")
-     * against the registry. Rejects an empty spec, unknown names, and
-     * duplicates. @return false with @p error set on failure.
+     * Resolve a comma-separated pass spec ("fuse,cluster,prefetch",
+     * optionally with per-pass knobs: "cluster(maxDegree=8)") against
+     * the registry. Rejects an empty spec, unknown names, duplicates,
+     * and malformed or unknown knobs, naming the offending token.
+     * @return false with @p error set on failure.
      */
     static bool parse(const std::string &spec, Pipeline &out,
                       std::string &error);
 
     std::vector<std::string> passNames() const;
+
+    /** The parsed knobs, in spec order. */
+    const std::vector<PassKnob> &knobs() const { return knobs_; }
+
+    /**
+     * Canonical spec string: pass names joined by commas, knobs
+     * rendered as name(knob=value,...) with no whitespace. parse() of
+     * the result reproduces this pipeline; autotune cache keys hash it.
+     */
+    std::string spec() const;
+
+    /** Overwrite the DriverParams fields the parsed knobs name (the
+     *  same application run() performs on its own copy). */
+    void applyKnobs(DriverParams &params) const;
 
     /**
      * Run the passes in order; @return the accumulated report.
@@ -113,6 +152,7 @@ class Pipeline
 
   private:
     std::vector<Pass *> passes_;
+    std::vector<PassKnob> knobs_;
 };
 
 /** The spec reproducing the old applyClustering driver. */
@@ -121,9 +161,35 @@ std::string defaultPipelineSpec();
 /**
  * The default spec with the passes gated by the old DriverParams
  * enable* flags removed when disabled (how applyClustering honors
- * them).
+ * them), carrying knobs for any knob-backed field that differs from
+ * its default (e.g. "cluster(maxDegree=8)" when maxUnroll is 8).
+ * parse() of the result followed by applyKnobs() reproduces the gated
+ * and knob-backed fields of @p params — the round-trip the autotuner
+ * and its cache keys rely on.
  */
 std::string pipelineSpecFromParams(const DriverParams &params);
+
+/**
+ * Can the functional-equivalence checksum be computed for @p kernel?
+ * True when a real memory initializer is supplied (@p has_init) or the
+ * kernel is simple enough for the synthetic fill (counted loops,
+ * loop-index subscripts only).
+ */
+bool functionallyCheckable(const ir::Kernel &kernel, bool has_init);
+
+/**
+ * Execute @p kernel functionally and digest its array contents: the
+ * same clone + layout + init + run + FNV checksum the per-pass
+ * verifier uses, on the engine MPC_EXEC_TIER selects (kernels with
+ * FlagWait fall back to the IR evaluator). Two kernels produced by
+ * semantics-preserving transformations of one another digest equal.
+ * @p engine_name, when non-null, receives "interp" | "threaded" |
+ * "evaluator".
+ */
+std::uint64_t functionalChecksum(
+    const ir::Kernel &kernel,
+    const std::function<void(kisa::MemoryImage &)> &init,
+    std::string *engine_name = nullptr);
 
 } // namespace mpc::transform
 

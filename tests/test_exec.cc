@@ -531,6 +531,47 @@ TEST(ExecTierDeathTest, UnknownTierIsFatal)
     unsetenv("MPC_EXEC_TIER");
 }
 
+TEST(ExecTier, PinOverridesEnvironmentInBothOrders)
+{
+    // Order 1: flag resolved (pin) first, environment changes after.
+    // This is the mpclust/mpctune --exec-tier scenario: the tier is
+    // resolved once per invocation, so an env change mid-run (or an
+    // inherited variable) cannot produce a mixed-tier run.
+    unsetenv("MPC_EXEC_TIER");
+    pinExecTier(ExecTier::Interp);
+    EXPECT_TRUE(execTierPinned());
+    setenv("MPC_EXEC_TIER", "threaded", 1);
+    EXPECT_EQ(execTierFromEnv(), ExecTier::Interp);
+
+    // Order 2: environment set first, then the pin (the flag) wins.
+    clearExecTierPin();
+    EXPECT_FALSE(execTierPinned());
+    setenv("MPC_EXEC_TIER", "interp", 1);
+    EXPECT_EQ(execTierFromEnv(), ExecTier::Interp);
+    pinExecTier(ExecTier::Threaded);
+    EXPECT_EQ(execTierFromEnv(), ExecTier::Threaded);
+
+    // Unpinned again: back to reading the environment fresh.
+    clearExecTierPin();
+    EXPECT_EQ(execTierFromEnv(), ExecTier::Interp);
+    unsetenv("MPC_EXEC_TIER");
+    EXPECT_EQ(execTierFromEnv(), ExecTier::Threaded);
+}
+
+TEST(ExecTier, PinIsStableAcrossRepeatedCalls)
+{
+    // Every execute()/executeWithHook() default argument consults
+    // execTierFromEnv(); under a pin, consecutive calls must agree no
+    // matter how the environment flaps in between.
+    pinExecTier(ExecTier::Interp);
+    for (int i = 0; i < 4; ++i) {
+        setenv("MPC_EXEC_TIER", i % 2 == 0 ? "threaded" : "interp", 1);
+        EXPECT_EQ(execTierFromEnv(), ExecTier::Interp) << i;
+    }
+    clearExecTierPin();
+    unsetenv("MPC_EXEC_TIER");
+}
+
 TEST(ExecTier, ExecuteEntryPointHonorsExplicitTier)
 {
     const Program prog = daxpyLoop(16);

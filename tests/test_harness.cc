@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codegen/codegen.hh"
@@ -251,6 +253,69 @@ TEST(ParallelRunner, MultipleFailuresReportFirstAndCount)
         EXPECT_NE(what.find("3 of 6 jobs failed"), std::string::npos)
             << what;
     }
+}
+
+TEST(ParallelRunner, MidSweepFailureAccountsWallTimesAndCulprit)
+{
+    // A job throws early while longer jobs are still running on other
+    // workers: the sweep must let every other job finish, identify the
+    // culprit by index and label, count exactly one failure, and leave
+    // only the failing job's wall_seconds slot at zero — the surviving
+    // slots carry their real (sleep-bounded) times.
+    std::vector<std::function<void()>> jobs;
+    std::vector<std::string> labels;
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 4; ++i) {
+        labels.push_back("sweep-" + std::to_string(i));
+        jobs.push_back([i, &completed] {
+            if (i == 1)
+                throw std::runtime_error("mid-sweep fault");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            ++completed;
+        });
+    }
+    std::vector<double> wall;
+    try {
+        ParallelRunner(4).run(jobs, labels, &wall);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("parallel job 1"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("sweep-1"), std::string::npos) << what;
+        EXPECT_NE(what.find("mid-sweep fault"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("1 of 4 jobs failed"), std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(completed.load(), 3);
+    ASSERT_EQ(wall.size(), 4u);
+    EXPECT_EQ(wall[1], 0.0);
+    for (const int i : {0, 2, 3})
+        EXPECT_GE(wall[i], 0.015) << "slot " << i;
+}
+
+TEST(ParallelRunner, AllJobsFailingStillSettlesWallVector)
+{
+    // Even a total wipeout must resize wall_seconds (stale caller
+    // content replaced) and zero every slot before rethrowing.
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back(
+            [] { throw std::runtime_error("boom"); });
+    std::vector<double> wall{1.0, 2.0};
+    try {
+        ParallelRunner(2).run(jobs, {}, &wall);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("3 of 3 jobs failed"),
+                  std::string::npos)
+            << e.what();
+    }
+    ASSERT_EQ(wall.size(), 3u);
+    for (const double w : wall)
+        EXPECT_EQ(w, 0.0);
 }
 
 TEST(ParallelRunner, ReportsPerJobWallTimes)

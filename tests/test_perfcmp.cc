@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the perfcmp comparison engine (tools/perfcmp_core.hh):
+ * BENCH json parsing, per-label median reduction across a side's files,
+ * and compare()'s pairing — including the missing/added label
+ * accounting that fail-on-regression gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/perfcmp_core.hh"
+
+namespace mpc::perfcmp
+{
+namespace
+{
+
+std::string
+benchJson(const std::vector<Row> &rows)
+{
+    std::string text = "{\n  \"runs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"label\": \"%s\", \"wallSeconds\": %g}%s\n",
+                      rows[i].label.c_str(), rows[i].wallSeconds,
+                      i + 1 < rows.size() ? "," : "");
+        text += buf;
+    }
+    text += "  ]\n}\n";
+    return text;
+}
+
+/** Write a BENCH-shaped file into the test temp dir; returns its path. */
+std::string
+writeBench(const std::string &name, const std::vector<Row> &rows)
+{
+    const std::string path =
+        testing::TempDir() + "perfcmp_" + name + ".json";
+    std::ofstream out(path);
+    out << benchJson(rows);
+    return path;
+}
+
+TEST(PerfcmpParse, ReadsLabelsAndWallSeconds)
+{
+    std::vector<Row> rows;
+    ASSERT_TRUE(parseBenchText(
+        benchJson({{"em3d", 1.5}, {"fft", 0.25}}), "inline", rows));
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].label, "em3d");
+    EXPECT_DOUBLE_EQ(rows[0].wallSeconds, 1.5);
+    EXPECT_EQ(rows[1].label, "fft");
+    EXPECT_DOUBLE_EQ(rows[1].wallSeconds, 0.25);
+}
+
+TEST(PerfcmpParse, RejectsMissingRunsAndMissingWallSeconds)
+{
+    std::vector<Row> rows;
+    EXPECT_FALSE(parseBenchText("{\"notRuns\": []}", "inline", rows));
+    rows.clear();
+    EXPECT_FALSE(parseBenchText(
+        "{\"runs\": [{\"label\": \"x\"}]}", "inline", rows));
+    rows.clear();
+    EXPECT_FALSE(parseBenchText("{\"runs\": []}", "inline", rows));
+}
+
+TEST(PerfcmpLoad, MedianAcrossFilesOddAndEven)
+{
+    const auto a = writeBench("med_a", {{"em3d", 1.0}, {"fft", 4.0}});
+    const auto b = writeBench("med_b", {{"em3d", 3.0}, {"fft", 2.0}});
+    const auto c = writeBench("med_c", {{"em3d", 100.0}, {"fft", 6.0}});
+
+    std::map<std::string, double> two;
+    ASSERT_TRUE(loadSide(a + "," + b, two));
+    EXPECT_DOUBLE_EQ(two.at("em3d"), 2.0);   // even: mean of middle two
+    EXPECT_DOUBLE_EQ(two.at("fft"), 3.0);
+
+    std::map<std::string, double> three;
+    ASSERT_TRUE(loadSide(a + "," + b + "," + c, three));
+    EXPECT_DOUBLE_EQ(three.at("em3d"), 3.0); // odd: middle sample
+    EXPECT_DOUBLE_EQ(three.at("fft"), 4.0);
+}
+
+TEST(PerfcmpLoad, DropsLabelAbsentFromSomeFileOfTheSide)
+{
+    const auto a = writeBench("part_a", {{"em3d", 1.0}, {"fft", 2.0}});
+    const auto b = writeBench("part_b", {{"em3d", 3.0}});
+    std::map<std::string, double> medians;
+    ASSERT_TRUE(loadSide(a + "," + b, medians));
+    EXPECT_EQ(medians.count("em3d"), 1u);
+    EXPECT_EQ(medians.count("fft"), 0u);
+}
+
+TEST(PerfcmpCompare, FlagsRegressionsAndComputesGeomean)
+{
+    const std::map<std::string, double> base{{"a", 1.0}, {"b", 2.0}};
+    const std::map<std::string, double> next{{"a", 2.0}, {"b", 1.0}};
+    const CompareResult r = compare(base, next, 5.0);
+    ASSERT_EQ(r.compared, 2);
+    EXPECT_TRUE(r.missing.empty());
+    EXPECT_TRUE(r.added.empty());
+    EXPECT_EQ(r.regressions, 1);
+    EXPECT_DOUBLE_EQ(r.rows[0].speedup, 0.5);
+    EXPECT_TRUE(r.rows[0].regression);
+    EXPECT_DOUBLE_EQ(r.rows[1].speedup, 2.0);
+    EXPECT_TRUE(r.rows[1].faster);
+    EXPECT_NEAR(r.geomean, 1.0, 1e-12);     // sqrt(0.5 * 2.0)
+}
+
+TEST(PerfcmpCompare, ThresholdSuppressesSmallDeltas)
+{
+    const std::map<std::string, double> base{{"a", 1.00}};
+    const std::map<std::string, double> next{{"a", 1.03}};
+    const CompareResult r = compare(base, next, 5.0);
+    ASSERT_EQ(r.compared, 1);
+    EXPECT_EQ(r.regressions, 0);
+    EXPECT_FALSE(r.rows[0].regression);
+    EXPECT_FALSE(r.rows[0].faster);
+}
+
+TEST(PerfcmpCompare, ReportsMissingAndAddedLabelsExplicitly)
+{
+    const std::map<std::string, double> base{
+        {"kept", 1.0}, {"vanished", 1.0}, {"gone_too", 2.0}};
+    const std::map<std::string, double> next{
+        {"kept", 1.0}, {"brand_new", 3.0}};
+    const CompareResult r = compare(base, next, 5.0);
+    EXPECT_EQ(r.compared, 1);
+    ASSERT_EQ(r.missing.size(), 2u);
+    EXPECT_EQ(r.missing[0], "gone_too");
+    EXPECT_EQ(r.missing[1], "vanished");
+    ASSERT_EQ(r.added.size(), 1u);
+    EXPECT_EQ(r.added[0], "brand_new");
+    // A vanished label fails fail-on-regression even with 0 slowdowns.
+    EXPECT_EQ(r.regressions, 0);
+    EXPECT_TRUE(r.regressions > 0 || !r.missing.empty());
+}
+
+TEST(PerfcmpCompare, SubResolutionRowsAreSkippedNotMissing)
+{
+    const std::map<std::string, double> base{{"a", 0.0}, {"b", 1.0}};
+    const std::map<std::string, double> next{{"a", 1.0}, {"b", 1.0}};
+    const CompareResult r = compare(base, next, 5.0);
+    EXPECT_EQ(r.compared, 1);       // only "b" carries signal
+    EXPECT_TRUE(r.missing.empty()); // "a" exists on both sides
+    EXPECT_TRUE(r.added.empty());
+}
+
+} // namespace
+} // namespace mpc::perfcmp

@@ -156,6 +156,200 @@ TEST(PipelineSpec, ParamsGateSpecPasses)
     EXPECT_NE(spec.find("scalar-replace"), std::string::npos);
 }
 
+TEST(PipelineSpec, RejectsTrailingComma)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(Pipeline::parse("fuse,cluster,", pipeline, error));
+    EXPECT_NE(error.find("empty pass name"), std::string::npos)
+        << error;
+}
+
+// ---------------------------------------------------------------------
+// Per-pass knobs: "cluster(maxDegree=8),prefetch(dist=4)".
+// ---------------------------------------------------------------------
+
+TEST(PipelineKnobs, ParsesKnobSpec)
+{
+    Pipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(Pipeline::parse("cluster(maxDegree=8),prefetch(dist=4)",
+                                pipeline, error))
+        << error;
+    const std::vector<std::string> expected{"cluster", "prefetch"};
+    EXPECT_EQ(pipeline.passNames(), expected);
+    ASSERT_EQ(pipeline.knobs().size(), 2u);
+    EXPECT_EQ(pipeline.knobs()[0].pass, "cluster");
+    EXPECT_EQ(pipeline.knobs()[0].name, "maxDegree");
+    EXPECT_EQ(pipeline.knobs()[0].value, 8);
+    EXPECT_EQ(pipeline.knobs()[1].pass, "prefetch");
+    EXPECT_EQ(pipeline.knobs()[1].name, "dist");
+    EXPECT_EQ(pipeline.knobs()[1].value, 4);
+    EXPECT_EQ(pipeline.spec(), "cluster(maxDegree=8),prefetch(dist=4)");
+}
+
+TEST(PipelineKnobs, ToleratesWhitespaceEverywhere)
+{
+    Pipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(Pipeline::parse(
+        "  cluster ( maxDegree = 8 ) ,\tprefetch( dist =4 ) ",
+        pipeline, error))
+        << error;
+    EXPECT_EQ(pipeline.spec(), "cluster(maxDegree=8),prefetch(dist=4)");
+}
+
+TEST(PipelineKnobs, AppliesKnobsToParams)
+{
+    Pipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(Pipeline::parse(
+        "cluster(maxDegree=6),inner-unroll(factor=3),prefetch(dist=7)",
+        pipeline, error))
+        << error;
+    DriverParams params;
+    pipeline.applyKnobs(params);
+    EXPECT_EQ(params.maxUnroll, 6);
+    EXPECT_EQ(params.maxInnerUnroll, 3);
+    EXPECT_EQ(params.prefetchDistanceLines, 7);
+}
+
+TEST(PipelineKnobs, RejectsUnknownKnobNamingToken)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(Pipeline::parse("cluster(warp=9)", pipeline, error));
+    EXPECT_NE(error.find("unknown knob 'warp'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("cluster"), std::string::npos) << error;
+}
+
+TEST(PipelineKnobs, RejectsKnobOnWrongPass)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(Pipeline::parse("fuse(maxDegree=4)", pipeline, error));
+    EXPECT_NE(error.find("unknown knob 'maxDegree'"),
+              std::string::npos)
+        << error;
+}
+
+TEST(PipelineKnobs, RejectsNonPositiveOrMalformedValue)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(
+        Pipeline::parse("cluster(maxDegree=0)", pipeline, error));
+    EXPECT_NE(error.find("positive integer"), std::string::npos)
+        << error;
+    EXPECT_FALSE(
+        Pipeline::parse("cluster(maxDegree=four)", pipeline, error));
+    EXPECT_NE(error.find("'four'"), std::string::npos) << error;
+    EXPECT_FALSE(
+        Pipeline::parse("cluster(maxDegree)", pipeline, error));
+    EXPECT_NE(error.find("missing '=value'"), std::string::npos)
+        << error;
+}
+
+TEST(PipelineKnobs, RejectsUnterminatedKnobList)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(
+        Pipeline::parse("cluster(maxDegree=8", pipeline, error));
+    EXPECT_NE(error.find("malformed knob list"), std::string::npos)
+        << error;
+}
+
+TEST(PipelineKnobs, RejectsDuplicateKnob)
+{
+    Pipeline pipeline;
+    std::string error;
+    EXPECT_FALSE(Pipeline::parse("cluster(maxDegree=2,maxDegree=4)",
+                                 pipeline, error));
+    EXPECT_NE(error.find("duplicate knob 'maxDegree'"),
+              std::string::npos)
+        << error;
+}
+
+TEST(PipelineKnobs, RunAppliesKnobsToItsParamsCopy)
+{
+    // maxDegree caps the cluster pass's unroll-and-jam binary search,
+    // so a knob-limited run must report a degree no larger than the
+    // cap even though the caller's DriverParams allow 16.
+    Kernel k = twinSweeps(64);
+    DriverParams params;
+    params.missRate = [](int) { return 1.0; };
+    Pipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(Pipeline::parse("fuse,cluster(maxDegree=2)", pipeline,
+                                error))
+        << error;
+    pipeline.verifyMode = VerifyMode::Off;
+    const PipelineReport report = pipeline.run(k, params);
+    ASSERT_FALSE(report.nests.empty());
+    for (const auto &nest : report.nests)
+        EXPECT_LE(nest.unrollDegree, 2) << nest.toString();
+    EXPECT_EQ(params.maxUnroll, 16)
+        << "run() must not mutate the caller's params";
+}
+
+TEST(PipelineKnobs, SpecFromParamsEmitsKnobsForNonDefaultFields)
+{
+    DriverParams params;
+    params.maxUnroll = 8;
+    params.maxInnerUnroll = 4;
+    const std::string spec = pipelineSpecFromParams(params);
+    EXPECT_NE(spec.find("cluster(maxDegree=8)"), std::string::npos)
+        << spec;
+    EXPECT_NE(spec.find("inner-unroll(factor=4)"), std::string::npos)
+        << spec;
+    // Default-valued fields must NOT grow knobs: the default pipeline
+    // spec string (and therefore every bench stdout) stays unchanged.
+    EXPECT_EQ(pipelineSpecFromParams(DriverParams()),
+              defaultPipelineSpec());
+}
+
+TEST(PipelineKnobs, SpecFromParamsRoundTripsAllGateCombos)
+{
+    for (int mask = 0; mask < 8; ++mask) {
+        for (const int max_unroll : {16, 8}) {
+            for (const int max_inner : {8, 3}) {
+                DriverParams params;
+                params.enablePostludeInterchange = (mask & 1) != 0;
+                params.enableScalarReplacement = (mask & 2) != 0;
+                params.enableInnerUnroll = (mask & 4) != 0;
+                params.maxUnroll = max_unroll;
+                params.maxInnerUnroll = max_inner;
+
+                const std::string spec =
+                    pipelineSpecFromParams(params);
+                Pipeline pipeline;
+                std::string error;
+                ASSERT_TRUE(Pipeline::parse(spec, pipeline, error))
+                    << spec << ": " << error;
+                // Canonical rendering reproduces the spec...
+                EXPECT_EQ(pipeline.spec(), spec);
+                // ...and re-applying the knobs reproduces the
+                // knob-backed fields the gates exposed.
+                DriverParams rebuilt;
+                rebuilt.enablePostludeInterchange =
+                    params.enablePostludeInterchange;
+                rebuilt.enableScalarReplacement =
+                    params.enableScalarReplacement;
+                rebuilt.enableInnerUnroll = params.enableInnerUnroll;
+                pipeline.applyKnobs(rebuilt);
+                EXPECT_EQ(rebuilt.maxUnroll, params.maxUnroll) << spec;
+                if (params.enableInnerUnroll) {
+                    EXPECT_EQ(rebuilt.maxInnerUnroll,
+                              params.maxInnerUnroll)
+                        << spec;
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Report renderings and the JSON round-trip.
 // ---------------------------------------------------------------------

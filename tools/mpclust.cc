@@ -20,8 +20,9 @@
  *                    instead of the default driver pipeline
  *   --dump-ir MODE   dump the IR ("after-each-pass") while transforming
  *   --exec-tier T    functional-execution backend for profiling and
- *                    per-pass verification: interp | threaded
- *                    (default: $MPC_EXEC_TIER, else threaded)
+ *                    per-pass verification: interp | threaded.
+ *                    Resolved once at startup: the flag wins over
+ *                    $MPC_EXEC_TIER; default threaded.
  *   --list-passes    list the registered passes and exit
  *   --show-kernel    print the (transformed) kernel IR
  *   --show-refs      per-reference L2 access/miss counts (clustered run)
@@ -40,11 +41,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "codegen/codegen.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "kisa/exec_threaded.hh"
 #include "transform/pipeline.hh"
 #include "transform/transforms.hh"
 #include "workloads/workload.hh"
@@ -124,6 +127,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string pipeline_spec;
     std::string dump_ir;
+    std::optional<kisa::ExecTier> exec_tier;
 
     for (int a = 2; a < argc; ++a) {
         const std::string arg = argv[a];
@@ -162,20 +166,28 @@ main(int argc, char **argv)
             dump_ir = next();
         else if (arg == "--exec-tier") {
             const char *tier = next();
-            if (std::strcmp(tier, "interp") != 0 &&
-                std::strcmp(tier, "threaded") != 0) {
+            if (std::strcmp(tier, "interp") == 0)
+                exec_tier = kisa::ExecTier::Interp;
+            else if (std::strcmp(tier, "threaded") == 0)
+                exec_tier = kisa::ExecTier::Threaded;
+            else {
                 std::fprintf(stderr,
                              "mpclust: bad --exec-tier '%s' (expected "
                              "interp|threaded)\n",
                              tier);
                 return 2;
             }
-            // Everything downstream (profiler, pipeline verification,
-            // workload init) reads MPC_EXEC_TIER via execTierFromEnv.
-            setenv("MPC_EXEC_TIER", tier, 1);
         } else
             usage(argv[0]);
     }
+
+    // Resolve the execution tier exactly once per invocation: the flag
+    // wins over MPC_EXEC_TIER, and pinning the result means every
+    // downstream execTierFromEnv() call (profiler, pipeline
+    // verification, workload init) sees the same tier even if the
+    // environment changes mid-run.
+    kisa::pinExecTier(exec_tier.has_value() ? *exec_tier
+                                            : kisa::execTierFromEnv());
 
     if (!pipeline_spec.empty()) {
         // Validate eagerly for a clean CLI error before any run.

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * mpctune command-line driver: the model-pruned pipeline autotuner
+ * (harness/autotune.hh) over one or more workloads.
+ *
+ * Usage:
+ *   mpctune <workload> [<workload>...] [options]
+ *
+ *   --scale N        input scale 1..3 (default 2)
+ *   --procs N        processor count (default: workload's, or 1)
+ *   --config NAME    base | 1ghz | exemplar (default base)
+ *   --budget N       candidates simulated after model pruning
+ *                    (default 8)
+ *   --cache DIR      on-disk result cache; reruns with the same
+ *                    kernel/config/spec never re-simulate (default:
+ *                    off)
+ *   --json PREFIX    write MPCTUNE_<workload>.json under PREFIX
+ *                    (a directory; default: off)
+ *   --jobs N         parallel simulations (default: MPC_JOBS or
+ *                    hardware concurrency)
+ *   --exec-tier T    functional-execution backend: interp | threaded.
+ *                    Resolved once at startup: the flag wins over
+ *                    $MPC_EXEC_TIER; default threaded.
+ *
+ * stdout carries only the deterministic tuning report — identical
+ * between a cold run and a fully cached rerun. Cache hit/miss counts
+ * go to stderr.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/autotune.hh"
+#include "kisa/exec_threaded.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <workload> [<workload>...]\n"
+                 "  [--scale N] [--procs N] [--config base|1ghz|"
+                 "exemplar]\n"
+                 "  [--budget N] [--cache DIR] [--json PREFIX] "
+                 "[--jobs N]\n"
+                 "  [--exec-tier interp|threaded]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mpc;
+
+    if (argc < 2)
+        usage(argv[0]);
+
+    std::vector<std::string> names;
+    workloads::SizeParams size;
+    size.scale = 2;
+    int procs = -1;
+    std::string config_name = "base";
+    int budget = 8;
+    std::string cache_dir;
+    std::string json_prefix;
+    int jobs = 0;
+    std::optional<kisa::ExecTier> exec_tier;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        auto next = [&]() -> const char * {
+            if (a + 1 >= argc)
+                usage(argv[0]);
+            return argv[++a];
+        };
+        if (arg == "--scale")
+            size.scale = std::atoi(next());
+        else if (arg == "--procs")
+            procs = std::atoi(next());
+        else if (arg == "--config")
+            config_name = next();
+        else if (arg == "--budget")
+            budget = std::atoi(next());
+        else if (arg == "--cache")
+            cache_dir = next();
+        else if (arg == "--json")
+            json_prefix = next();
+        else if (arg == "--jobs")
+            jobs = std::atoi(next());
+        else if (arg == "--exec-tier") {
+            const char *tier = next();
+            if (std::strcmp(tier, "interp") == 0)
+                exec_tier = kisa::ExecTier::Interp;
+            else if (std::strcmp(tier, "threaded") == 0)
+                exec_tier = kisa::ExecTier::Threaded;
+            else {
+                std::fprintf(stderr,
+                             "mpctune: bad --exec-tier '%s' (expected "
+                             "interp|threaded)\n",
+                             tier);
+                return 2;
+            }
+        } else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0]);
+        else
+            names.push_back(arg);
+    }
+    if (names.empty())
+        usage(argv[0]);
+
+    // Resolve the execution tier exactly once per invocation: the flag
+    // wins over MPC_EXEC_TIER, and the pin keeps every downstream
+    // execTierFromEnv() call on the same tier (see mpclust).
+    kisa::pinExecTier(exec_tier.has_value() ? *exec_tier
+                                            : kisa::execTierFromEnv());
+
+    harness::TuneOptions opts;
+    if (config_name == "base")
+        opts.config = sys::baseConfig();
+    else if (config_name == "1ghz")
+        opts.config = sys::oneGHzConfig();
+    else if (config_name == "exemplar")
+        opts.config = sys::exemplarConfig();
+    else
+        usage(argv[0]);
+    opts.procs = procs;
+    opts.simBudget = budget;
+    opts.cacheDir = cache_dir;
+    opts.threads = jobs;
+    if (!json_prefix.empty())
+        std::filesystem::create_directories(json_prefix);
+
+    int total_hits = 0, total_misses = 0;
+    for (const std::string &name : names) {
+        const workloads::Workload w = workloads::makeByName(name, size);
+        const harness::TuneReport report = harness::tune(w, opts);
+        std::fputs(report.toString().c_str(), stdout);
+        std::fputs("\n", stdout);
+        total_hits += report.cacheHits;
+        total_misses += report.cacheMisses;
+        if (!json_prefix.empty()) {
+            const std::string path =
+                json_prefix + "/MPCTUNE_" + name + ".json";
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "mpctune: cannot write %s\n",
+                             path.c_str());
+                return 1;
+            }
+            out << report.toJson();
+            std::fprintf(stderr, "mpctune: wrote %s\n", path.c_str());
+        }
+    }
+    if (!cache_dir.empty())
+        std::fprintf(stderr,
+                     "mpctune: cache %d hit(s), %d miss(es)\n",
+                     total_hits, total_misses);
+    return 0;
+}

@@ -8,170 +8,33 @@
  * Each side is a comma-separated list of BENCH json files from repeated
  * runs of the same benchmark binary; per-label wall times are reduced
  * with the median, which is robust to one-off scheduling noise. Rows
- * present on both sides are compared; speedup = base / new (>1 means
- * the new build is faster).
+ * present on both sides are compared (speedup = base / new; >1 means
+ * the new build is faster); labels present on only one side are
+ * reported explicitly as missing (base-only) or added (new-only).
  *
  * Options:
  *   --threshold <pct>     noise threshold for flagging rows (default 10)
  *   --fail-on-regression  exit 1 if any row regresses past the
- *                         threshold (default: report only — intended
+ *                         threshold OR any base label is missing from
+ *                         the new side (default: report only — intended
  *                         for CI jobs that warn without gating merges)
  *
- * The parser handles exactly the JSON bench_common.hh emits (flat
- * "runs" array with "label" and "wallSeconds" fields); it is not a
- * general JSON reader.
+ * The comparison engine lives in perfcmp_core.hh so the unit tests can
+ * drive it directly.
  */
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace
-{
-
-struct Row
-{
-    std::string label;
-    double wallSeconds = 0.0;
-};
-
-/** Extract the string value of "key" starting at or after @p from. */
-bool
-findString(const std::string &text, const std::string &key, size_t from,
-           std::string &out, size_t &end)
-{
-    const std::string needle = "\"" + key + "\"";
-    const size_t at = text.find(needle, from);
-    if (at == std::string::npos)
-        return false;
-    const size_t open = text.find('"', text.find(':', at));
-    if (open == std::string::npos)
-        return false;
-    const size_t close = text.find('"', open + 1);
-    if (close == std::string::npos)
-        return false;
-    out = text.substr(open + 1, close - open - 1);
-    end = close + 1;
-    return true;
-}
-
-/** Extract the numeric value of "key" starting at or after @p from. */
-bool
-findNumber(const std::string &text, const std::string &key, size_t from,
-           double &out, size_t &end)
-{
-    const std::string needle = "\"" + key + "\"";
-    const size_t at = text.find(needle, from);
-    if (at == std::string::npos)
-        return false;
-    const size_t colon = text.find(':', at);
-    if (colon == std::string::npos)
-        return false;
-    char *stop = nullptr;
-    out = std::strtod(text.c_str() + colon + 1, &stop);
-    end = static_cast<size_t>(stop - text.c_str());
-    return stop != text.c_str() + colon + 1;
-}
-
-/** Parse one BENCH json file into label -> wallSeconds. */
-bool
-parseBenchFile(const std::string &path, std::vector<Row> &rows)
-{
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "perfcmp: cannot open %s\n", path.c_str());
-        return false;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
-    const size_t runs = text.find("\"runs\"");
-    if (runs == std::string::npos) {
-        std::fprintf(stderr, "perfcmp: %s: no \"runs\" array\n",
-                     path.c_str());
-        return false;
-    }
-    size_t pos = runs;
-    for (;;) {
-        Row row;
-        size_t after_label = 0;
-        if (!findString(text, "label", pos, row.label, after_label))
-            break;
-        size_t after_wall = 0;
-        if (!findNumber(text, "wallSeconds", after_label, row.wallSeconds,
-                        after_wall)) {
-            std::fprintf(stderr,
-                         "perfcmp: %s: run \"%s\" has no wallSeconds\n",
-                         path.c_str(), row.label.c_str());
-            return false;
-        }
-        rows.push_back(row);
-        pos = after_wall;
-    }
-    if (rows.empty()) {
-        std::fprintf(stderr, "perfcmp: %s: empty runs array\n",
-                     path.c_str());
-        return false;
-    }
-    return true;
-}
-
-std::vector<std::string>
-splitCommas(const std::string &arg)
-{
-    std::vector<std::string> parts;
-    std::string current;
-    std::stringstream stream(arg);
-    while (std::getline(stream, current, ','))
-        if (!current.empty())
-            parts.push_back(current);
-    return parts;
-}
-
-/** Median wall time per label across a side's files. A label must be
- *  present in every file of the side to count. */
-bool
-loadSide(const std::string &arg, std::map<std::string, double> &medians)
-{
-    const auto files = splitCommas(arg);
-    if (files.empty()) {
-        std::fprintf(stderr, "perfcmp: empty file list '%s'\n",
-                     arg.c_str());
-        return false;
-    }
-    std::map<std::string, std::vector<double>> samples;
-    for (const auto &file : files) {
-        std::vector<Row> rows;
-        if (!parseBenchFile(file, rows))
-            return false;
-        for (const auto &row : rows)
-            samples[row.label].push_back(row.wallSeconds);
-    }
-    for (auto &[label, values] : samples) {
-        if (values.size() != files.size())
-            continue;   // label missing from some run: skip it
-        std::sort(values.begin(), values.end());
-        const size_t n = values.size();
-        medians[label] = n % 2 == 1
-                             ? values[n / 2]
-                             : 0.5 * (values[n / 2 - 1] + values[n / 2]);
-    }
-    return true;
-}
-
-} // namespace
+#include "tools/perfcmp_core.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace mpc::perfcmp;
+
     double threshold_pct = 10.0;
     bool fail_on_regression = false;
     std::vector<std::string> positional;
@@ -199,43 +62,48 @@ main(int argc, char **argv)
     if (!loadSide(positional[0], base) || !loadSide(positional[1], next))
         return 2;
 
+    const CompareResult result = compare(base, next, threshold_pct);
+
     std::printf("%-28s %12s %12s %9s\n", "bench", "base (s)", "new (s)",
                 "speedup");
     std::printf("%-28s %12s %12s %9s\n", "-----", "--------", "-------",
                 "-------");
-    int compared = 0;
-    int regressions = 0;
-    double log_sum = 0.0;
-    for (const auto &[label, base_s] : base) {
-        const auto it = next.find(label);
-        if (it == next.end())
-            continue;
-        const double new_s = it->second;
-        if (base_s <= 0.0 || new_s <= 0.0)
-            continue;   // sub-resolution rows carry no signal
-        const double speedup = base_s / new_s;
+    for (const CompareRow &row : result.rows) {
         const char *flag = "";
-        if (speedup < 1.0 - threshold_pct / 100.0) {
+        if (row.regression)
             flag = "  <-- REGRESSION";
-            ++regressions;
-        } else if (speedup > 1.0 + threshold_pct / 100.0) {
+        else if (row.faster)
             flag = "  (faster)";
-        }
-        std::printf("%-28s %12.6f %12.6f %8.2fx%s\n", label.c_str(),
-                    base_s, new_s, speedup, flag);
-        log_sum += std::log(speedup);
-        ++compared;
+        std::printf("%-28s %12.6f %12.6f %8.2fx%s\n", row.label.c_str(),
+                    row.baseSeconds, row.newSeconds, row.speedup, flag);
     }
-    if (compared == 0) {
+    for (const std::string &label : result.missing)
+        std::printf("%-28s %12s %12s %9s  <-- MISSING from new side\n",
+                    label.c_str(), "-", "-", "-");
+    for (const std::string &label : result.added)
+        std::printf("%-28s %12s %12s %9s  (added: new side only)\n",
+                    label.c_str(), "-", "-", "-");
+
+    if (result.compared == 0) {
         std::fprintf(stderr, "perfcmp: no comparable rows\n");
         return 2;
     }
     std::printf("\n%d rows compared, geomean speedup %.2fx, "
-                "%d regression(s) beyond %.0f%%\n",
-                compared, std::exp(log_sum / compared), regressions,
+                "%d regression(s) beyond %.0f%%",
+                result.compared, result.geomean, result.regressions,
                 threshold_pct);
-    if (regressions > 0 && !fail_on_regression)
+    if (!result.missing.empty())
+        std::printf(", %d label(s) missing",
+                    static_cast<int>(result.missing.size()));
+    if (!result.added.empty())
+        std::printf(", %d label(s) added",
+                    static_cast<int>(result.added.size()));
+    std::printf("\n");
+
+    const bool failing =
+        result.regressions > 0 || !result.missing.empty();
+    if (failing && !fail_on_regression)
         std::printf("(report-only mode: not failing; pass "
                     "--fail-on-regression to gate)\n");
-    return fail_on_regression && regressions > 0 ? 1 : 0;
+    return fail_on_regression && failing ? 1 : 0;
 }

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The comparison engine behind the perfcmp tool, header-only so the
+ * unit tests (test_perfcmp.cc) can drive it without spawning the
+ * binary.
+ *
+ * Each side of a comparison is a set of BENCH_<name>.json files from
+ * repeated runs of the same benchmark binary; per-label wall times are
+ * reduced with the median, which is robust to one-off scheduling
+ * noise. compare() pairs the sides' labels and reports speedups — AND
+ * the labels present on only one side, which earlier versions silently
+ * dropped: a bench that stops being emitted is indistinguishable from
+ * a bench that was always absent unless the comparison says so, and
+ * under fail-on-regression a vanished bench must gate exactly like a
+ * slow one.
+ *
+ * The parser handles exactly the JSON bench_common.hh emits (flat
+ * "runs" array with "label" and "wallSeconds" fields); it is not a
+ * general JSON reader.
+ */
+
+#ifndef MPC_TOOLS_PERFCMP_CORE_HH
+#define MPC_TOOLS_PERFCMP_CORE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mpc::perfcmp
+{
+
+struct Row
+{
+    std::string label;
+    double wallSeconds = 0.0;
+};
+
+/** Extract the string value of "key" starting at or after @p from. */
+inline bool
+findString(const std::string &text, const std::string &key, size_t from,
+           std::string &out, size_t &end)
+{
+    const std::string needle = "\"" + key + "\"";
+    const size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return false;
+    const size_t open = text.find('"', text.find(':', at));
+    if (open == std::string::npos)
+        return false;
+    const size_t close = text.find('"', open + 1);
+    if (close == std::string::npos)
+        return false;
+    out = text.substr(open + 1, close - open - 1);
+    end = close + 1;
+    return true;
+}
+
+/** Extract the numeric value of "key" starting at or after @p from. */
+inline bool
+findNumber(const std::string &text, const std::string &key, size_t from,
+           double &out, size_t &end)
+{
+    const std::string needle = "\"" + key + "\"";
+    const size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return false;
+    const size_t colon = text.find(':', at);
+    if (colon == std::string::npos)
+        return false;
+    char *stop = nullptr;
+    out = std::strtod(text.c_str() + colon + 1, &stop);
+    end = static_cast<size_t>(stop - text.c_str());
+    return stop != text.c_str() + colon + 1;
+}
+
+/** Parse BENCH json text into rows. @p where names the source in
+ *  diagnostics (a path for files, a test name for inline text). */
+inline bool
+parseBenchText(const std::string &text, const std::string &where,
+               std::vector<Row> &rows)
+{
+    const size_t runs = text.find("\"runs\"");
+    if (runs == std::string::npos) {
+        std::fprintf(stderr, "perfcmp: %s: no \"runs\" array\n",
+                     where.c_str());
+        return false;
+    }
+    size_t pos = runs;
+    for (;;) {
+        Row row;
+        size_t after_label = 0;
+        if (!findString(text, "label", pos, row.label, after_label))
+            break;
+        size_t after_wall = 0;
+        if (!findNumber(text, "wallSeconds", after_label,
+                        row.wallSeconds, after_wall)) {
+            std::fprintf(stderr,
+                         "perfcmp: %s: run \"%s\" has no wallSeconds\n",
+                         where.c_str(), row.label.c_str());
+            return false;
+        }
+        rows.push_back(row);
+        pos = after_wall;
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr, "perfcmp: %s: empty runs array\n",
+                     where.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Parse one BENCH json file into label -> wallSeconds rows. */
+inline bool
+parseBenchFile(const std::string &path, std::vector<Row> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "perfcmp: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseBenchText(buffer.str(), path, rows);
+}
+
+inline std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    std::stringstream stream(arg);
+    while (std::getline(stream, current, ','))
+        if (!current.empty())
+            parts.push_back(current);
+    return parts;
+}
+
+/** Median wall time per label across a side's files. A label must be
+ *  present in every file of the side to count. */
+inline bool
+loadSide(const std::string &arg, std::map<std::string, double> &medians)
+{
+    const auto files = splitCommas(arg);
+    if (files.empty()) {
+        std::fprintf(stderr, "perfcmp: empty file list '%s'\n",
+                     arg.c_str());
+        return false;
+    }
+    std::map<std::string, std::vector<double>> samples;
+    for (const auto &file : files) {
+        std::vector<Row> rows;
+        if (!parseBenchFile(file, rows))
+            return false;
+        for (const auto &row : rows)
+            samples[row.label].push_back(row.wallSeconds);
+    }
+    for (auto &[label, values] : samples) {
+        if (values.size() != files.size())
+            continue;   // label missing from some run: skip it
+        std::sort(values.begin(), values.end());
+        const size_t n = values.size();
+        medians[label] = n % 2 == 1
+                             ? values[n / 2]
+                             : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    }
+    return true;
+}
+
+/** One compared label. */
+struct CompareRow
+{
+    std::string label;
+    double baseSeconds = 0.0;
+    double newSeconds = 0.0;
+    double speedup = 1.0;
+    bool regression = false;
+    bool faster = false;
+};
+
+/** The full pairing of two sides, missing/added labels included. */
+struct CompareResult
+{
+    std::vector<CompareRow> rows;       ///< labels on both sides
+    std::vector<std::string> missing;   ///< base-only (vanished)
+    std::vector<std::string> added;     ///< new-only
+    int compared = 0;
+    int regressions = 0;
+    double geomean = 1.0;
+};
+
+/**
+ * Pair the sides' per-label medians. Labels present on both sides with
+ * positive times are compared (sub-resolution rows carry no signal);
+ * base-only labels land in missing, new-only in added. Under
+ * fail-on-regression semantics a missing label is a failure: the
+ * caller checks `regressions > 0 || !missing.empty()`.
+ */
+inline CompareResult
+compare(const std::map<std::string, double> &base,
+        const std::map<std::string, double> &next, double threshold_pct)
+{
+    CompareResult out;
+    double log_sum = 0.0;
+    for (const auto &[label, base_s] : base) {
+        const auto it = next.find(label);
+        if (it == next.end()) {
+            out.missing.push_back(label);
+            continue;
+        }
+        const double new_s = it->second;
+        if (base_s <= 0.0 || new_s <= 0.0)
+            continue;   // sub-resolution rows carry no signal
+        CompareRow row;
+        row.label = label;
+        row.baseSeconds = base_s;
+        row.newSeconds = new_s;
+        row.speedup = base_s / new_s;
+        row.regression = row.speedup < 1.0 - threshold_pct / 100.0;
+        row.faster = row.speedup > 1.0 + threshold_pct / 100.0;
+        out.regressions += row.regression ? 1 : 0;
+        log_sum += std::log(row.speedup);
+        ++out.compared;
+        out.rows.push_back(std::move(row));
+    }
+    for (const auto &[label, new_s] : next)
+        if (base.find(label) == base.end())
+            out.added.push_back(label);
+    if (out.compared > 0)
+        out.geomean = std::exp(log_sum / out.compared);
+    return out;
+}
+
+} // namespace mpc::perfcmp
+
+#endif // MPC_TOOLS_PERFCMP_CORE_HH
