@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/manifest.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -74,7 +75,8 @@ struct JsonRun
  */
 inline void
 writeBenchJson(const std::string &bench, const std::vector<JsonRun> &runs,
-               int threads, double total_wall_seconds)
+               int threads, double total_wall_seconds,
+               const std::string &manifest_json = "")
 {
     const std::string path = "BENCH_" + bench + ".json";
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -83,6 +85,8 @@ writeBenchJson(const std::string &bench, const std::vector<JsonRun> &runs,
         return;
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"manifest\": %s,\n",
+                 manifest_json.empty() ? "null" : manifest_json.c_str());
     std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
     std::fprintf(f, "  \"scale\": %d,\n", scaleFromEnv().scale);
     std::fprintf(f, "  \"stepMode\": \"%s\",\n",
@@ -112,7 +116,22 @@ struct AppRunResults
     std::vector<harness::RunTiming> clustTimings;
     int threads = 1;
     double totalWallSeconds = 0.0;
+    /** The (step-mode-applied) configuration the sweep ran under and
+     *  the processor count for provenance (0 = apps ran at their own
+     *  defaultProcs), so the report helpers can build the invocation
+     *  manifest with the bench's name. */
+    sys::SystemConfig config;
+    int manifestProcs = 1;
 };
+
+/** Invocation RunManifest JSON for a sweep's aggregate artifacts. */
+inline std::string
+invocationManifestJson(const std::string &bench, const AppRunResults &r)
+{
+    return harness::makeInvocationManifest(bench, r.config,
+                                           r.manifestProcs)
+        .toJson();
+}
 
 /**
  * Run base+clust for each named app, all sims in parallel. Output
@@ -152,6 +171,8 @@ runApps(const std::vector<std::string> &names,
     AppRunResults out;
     out.threads = runner.threads();
     out.totalWallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.config = cfg;
+    out.manifestProcs = multiprocessor ? 0 : 1;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         out.names.push_back(jobs[i].label);
         out.pairs.push_back(std::move(timed[i].pair));
@@ -188,7 +209,8 @@ reportTimings(const std::string &bench, const AppRunResults &r)
                         r.clustTimings[i].wallSeconds, clust.cycles,
                         r.clustTimings[i].cyclesPerSec});
     }
-    writeBenchJson(bench, runs, r.threads, r.totalWallSeconds);
+    writeBenchJson(bench, runs, r.threads, r.totalWallSeconds,
+                   invocationManifestJson(bench, r));
 }
 
 /**
@@ -208,7 +230,8 @@ reportModelVsMeasured(const std::string &bench, const AppRunResults &r)
                         bench + ")")
                     .c_str());
     const std::string path = "MODEL_VS_MEASURED_" + bench + ".json";
-    if (!harness::writeModelVsMeasuredJson(path, r.names, r.pairs))
+    if (!harness::writeModelVsMeasuredJson(
+            path, r.names, r.pairs, invocationManifestJson(bench, r)))
         std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
 }
 

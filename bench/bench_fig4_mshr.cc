@@ -41,8 +41,15 @@ main()
                     "E5 / Figure 4: L2 MSHR utilization (multiprocessor "
                     "Ocean and LU)")
                     .c_str());
-    // Structured twin of the table above, from the same Fig4Series.
-    if (!harness::writeFig4Json("FIG4_mshr.json", labels, runs))
+    // Structured twin of the table above, from the same Fig4Series,
+    // stamped with the invocation's provenance (procs 0: the two apps
+    // run at their own default processor counts).
+    const std::string manifest =
+        harness::makeInvocationManifest(
+            "fig4_mshr", bench::applyStepMode(sys::baseConfig()), 0)
+            .toJson();
+    if (!harness::writeFig4Json("FIG4_mshr.json", labels, runs,
+                                manifest))
         std::fprintf(stderr, "warning: cannot write FIG4_mshr.json\n");
     return 0;
 }

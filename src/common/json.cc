@@ -204,4 +204,75 @@ boolField(const Value &v, const std::string &name)
     return f != nullptr && f->t == Value::T::Bool && f->b;
 }
 
+std::string
+hex64(std::uint64_t v)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(v));
+}
+
+// --- ObjectWriter ----------------------------------------------------
+
+void
+ObjectWriter::key(const std::string &name)
+{
+    if (!body_.empty())
+        body_ += ", ";
+    escape(body_, name);
+    body_ += ": ";
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, const std::string &v)
+{
+    key(name);
+    escape(body_, v);
+    return *this;
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, const char *v)
+{
+    return field(name, std::string(v != nullptr ? v : ""));
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, double v)
+{
+    key(name);
+    body_ += num(v);
+    return *this;
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, std::uint64_t v)
+{
+    key(name);
+    body_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, int v)
+{
+    key(name);
+    body_ += strprintf("%d", v);
+    return *this;
+}
+
+ObjectWriter &
+ObjectWriter::field(const std::string &name, bool v)
+{
+    key(name);
+    body_ += v ? "true" : "false";
+    return *this;
+}
+
+ObjectWriter &
+ObjectWriter::raw(const std::string &name, const std::string &json)
+{
+    key(name);
+    body_ += json;
+    return *this;
+}
+
 } // namespace mpc::json

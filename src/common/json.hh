@@ -15,6 +15,7 @@
 #ifndef MPC_COMMON_JSON_HH
 #define MPC_COMMON_JSON_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -58,6 +59,38 @@ double numField(const Value &v, const std::string &name,
                 double dflt = 0.0);
 std::string strField(const Value &v, const std::string &name);
 bool boolField(const Value &v, const std::string &name);
+
+/** Render @p v as a fixed-width 16-digit lowercase hex string (the
+ *  format every manifest hash uses, so hashes diff cleanly). */
+std::string hex64(std::uint64_t v);
+
+/**
+ * Incremental JSON object builder: the one shared writer behind every
+ * artifact emitter that embeds a RunManifest (BENCH_*.json,
+ * MODEL_VS_MEASURED_*.json, FIG4_mshr.json, tune caches, SAMPLES
+ * time series). Fields render in call order; strings are escaped;
+ * `raw` splices pre-rendered JSON (a nested object or array) without
+ * quoting. str() yields the complete object, no trailing newline.
+ */
+class ObjectWriter
+{
+  public:
+    ObjectWriter &field(const std::string &name, const std::string &v);
+    ObjectWriter &field(const std::string &name, const char *v);
+    ObjectWriter &field(const std::string &name, double v);
+    ObjectWriter &field(const std::string &name, std::uint64_t v);
+    ObjectWriter &field(const std::string &name, int v);
+    ObjectWriter &field(const std::string &name, bool v);
+
+    /** Splice @p json (already-rendered value) under @p name. */
+    ObjectWriter &raw(const std::string &name, const std::string &json);
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    void key(const std::string &name);
+    std::string body_;
+};
 
 } // namespace mpc::json
 

@@ -1,6 +1,7 @@
 #include "harness/autotune.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -15,54 +16,34 @@
 namespace mpc::harness
 {
 
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t hash = 14695981039346656037ull;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
-    }
-    return hash;
-}
-
 namespace
 {
 
-/** The configuration fields a simulation result depends on, rendered
- *  as a stable string for hashing. Anything that changes cycles must
- *  appear here; observability/validation toggles must not (they are
- *  guaranteed not to change results). */
+/** The full cache key: the shared configKey() provenance string plus
+ *  the tuner-specific tail. Byte-identical to the pre-manifest
+ *  composite, so existing cache file names are unchanged. */
 std::string
-configKey(const sys::SystemConfig &config, int procs,
-          const std::string &spec, Tick max_cycles)
+tuneKey(const sys::SystemConfig &config, int procs,
+        const std::string &spec, Tick max_cycles)
 {
-    const auto cache = [](const mem::CacheConfig &c) {
-        return strprintf("%llu/%d/%d/%d/%d/%llu/%llu",
-                         static_cast<unsigned long long>(c.sizeBytes),
-                         c.assoc, c.lineBytes, c.numMshrs, c.numPorts,
-                         static_cast<unsigned long long>(c.hitLatency),
-                         static_cast<unsigned long long>(c.fillLatency));
-    };
-    return strprintf(
-        "%s|ns=%.6f|l1=%s|l2=%s|single=%d|win=%d|smp=%d|procs=%d|"
-        "spec=%s|maxCycles=%llu",
-        config.name.c_str(), config.nsPerCycle,
-        cache(config.hier.l1).c_str(), cache(config.hier.l2).c_str(),
-        config.hier.singleLevel ? 1 : 0, config.core.windowSize,
-        config.smpBus ? 1 : 0, procs, spec.c_str(),
-        static_cast<unsigned long long>(max_cycles));
+    return configKey(config, procs) +
+           strprintf("|spec=%s|maxCycles=%llu", spec.c_str(),
+                     static_cast<unsigned long long>(max_cycles));
 }
 
 /** BENCH-shaped cache entry ("runs" array with label/simCycles, plus
- *  the measured MLP); wallSeconds/cyclesPerSec are zeroed — cache
- *  entries must be byte-stable across hosts and reruns. */
+ *  the measured MLP) carrying the producing run's manifest;
+ *  wallSeconds/cyclesPerSec are zeroed and the manifest's host field
+ *  is blanked by the caller — cache entries must be byte-stable
+ *  across hosts and reruns. */
 std::string
 cacheEntryJson(const std::string &spec, std::uint64_t cycles,
-               double mlp)
+               double mlp, const std::string &manifest_json)
 {
     std::string out = "{\n  \"schema\": \"mpctune-cache-v1\",\n"
-                      "  \"spec\": ";
+                      "  \"manifest\": ";
+    out += manifest_json.empty() ? "null" : manifest_json;
+    out += ",\n  \"spec\": ";
     json::escape(out, spec);
     out += ",\n  \"runs\": [\n    {\"label\": ";
     json::escape(out, spec);
@@ -76,7 +57,8 @@ cacheEntryJson(const std::string &spec, std::uint64_t cycles,
 
 bool
 readCacheEntry(const std::string &path, const std::string &spec,
-               std::uint64_t &cycles, double &mlp)
+               std::uint64_t &cycles, double &mlp,
+               std::string &manifest_summary)
 {
     std::ifstream in(path);
     if (!in)
@@ -97,6 +79,17 @@ readCacheEntry(const std::string &path, const std::string &spec,
     const json::Value &run = runs->arr[0];
     if (json::strField(run, "label") != spec)
         return false;
+    // Pre-manifest cache entries are still valid; they just have no
+    // provenance to echo.
+    const json::Value *man = root.field("manifest");
+    if (man != nullptr && man->t == json::Value::T::Obj) {
+        const std::string pipe = json::strField(*man, "pipeline");
+        manifest_summary = strprintf(
+            "spec=%s config=%s tier=%s",
+            pipe.empty() ? "(base)" : pipe.c_str(),
+            json::strField(*man, "configHash").c_str(),
+            json::strField(*man, "execTier").c_str());
+    }
     cycles = static_cast<std::uint64_t>(
         json::numField(run, "simCycles", -1.0));
     mlp = json::numField(run, "mlp");
@@ -151,7 +144,7 @@ cacheFileName(const ir::Kernel &kernel, const sys::SystemConfig &config,
         "tune_%016llx_%016llx.json",
         static_cast<unsigned long long>(fnv1a(kernel.toString())),
         static_cast<unsigned long long>(
-            fnv1a(configKey(config, procs, spec, max_cycles))));
+            fnv1a(tuneKey(config, procs, spec, max_cycles))));
 }
 
 std::string
@@ -351,6 +344,17 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
                cacheFileName(workload.kernel, opts.config, procs, spec,
                              opts.maxCycles);
     };
+    // Cache-entry provenance: built from the UNscaled opts.config
+    // (matching cacheFileName's key) with the host blanked, so entries
+    // stay byte-stable across hosts and reruns.
+    const std::string kernel_text = workload.kernel.toString();
+    const auto cacheManifest = [&](const std::string &spec) {
+        RunManifest m = makeRunManifest(
+            workload.name, kernel_text, opts.config, procs,
+            spec == "(base)" ? std::string() : spec);
+        m.host = "";
+        return m.toJson();
+    };
 
     struct SimJob
     {
@@ -361,6 +365,7 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
         bool fromCache = false;
         bool failed = false;
         std::string note;
+        std::string manifestSummary;    ///< from the cached entry
     };
     std::vector<SimJob> sims;
     {
@@ -381,11 +386,12 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
     std::vector<std::string> labels;
     for (SimJob &job : sims) {
         labels.push_back(workload.name + ":" + job.spec);
-        jobs.push_back([&job, &workload, &opts, &cachePath, caching,
-                        procs] {
+        jobs.push_back([&job, &workload, &opts, &cachePath,
+                        &cacheManifest, caching, procs] {
             if (caching &&
                 readCacheEntry(cachePath(job.spec), job.spec,
-                               job.cycles, job.mlp)) {
+                               job.cycles, job.mlp,
+                               job.manifestSummary)) {
                 job.fromCache = true;
                 return;
             }
@@ -406,7 +412,8 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
             }
             if (caching) {
                 std::ofstream out(cachePath(job.spec));
-                out << cacheEntryJson(job.spec, job.cycles, job.mlp);
+                out << cacheEntryJson(job.spec, job.cycles, job.mlp,
+                                      cacheManifest(job.spec));
             }
         });
     }
@@ -414,9 +421,16 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
 
     // --- fold the measurements back into the report ------------------
     for (const SimJob &job : sims) {
-        if (job.fromCache)
+        if (job.fromCache) {
             ++report.cacheHits;
-        else if (caching && !job.failed)
+            // Echo the cached entry's provenance. Stderr only (stdout
+            // must not depend on cache state), and from this
+            // sequential loop, not the parallel jobs, so the order is
+            // deterministic.
+            if (!job.manifestSummary.empty())
+                std::fprintf(stderr, "mpctune: cache hit: %s\n",
+                             job.manifestSummary.c_str());
+        } else if (caching && !job.failed)
             ++report.cacheMisses;
         if (job.candidate < 0) {
             report.baseCycles = job.cycles;

@@ -37,13 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "harness/manifest.hh"
 #include "harness/runner.hh"
 
 namespace mpc::harness
 {
-
-/** FNV-1a over a byte string (the cache-key hash). */
-std::uint64_t fnv1a(const std::string &text);
 
 struct TuneOptions
 {

@@ -154,13 +154,16 @@ formatFig4(const std::vector<std::string> &labels,
 bool
 writeFig4Json(const std::string &path,
               const std::vector<std::string> &labels,
-              const std::vector<const sys::RunResult *> &runs)
+              const std::vector<const sys::RunResult *> &runs,
+              const std::string &manifest_json)
 {
     const Fig4Series s = fig4Series(labels, runs);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
-    std::fprintf(f, "{\n  \"maxLevel\": %d,\n  \"runs\": [\n",
+    std::fprintf(f, "{\n  \"manifest\": %s,\n",
+                 manifest_json.empty() ? "null" : manifest_json.c_str());
+    std::fprintf(f, "  \"maxLevel\": %d,\n  \"runs\": [\n",
                  s.maxLevel);
     for (std::size_t i = 0; i < s.labels.size(); ++i) {
         std::fprintf(f, "    {\"label\": \"%s\",\n     \"fracAtLeastRead\": [",
@@ -227,12 +230,15 @@ formatModelVsMeasured(const std::vector<std::string> &names,
 bool
 writeModelVsMeasuredJson(const std::string &path,
                          const std::vector<std::string> &names,
-                         const std::vector<PairResult> &pairs)
+                         const std::vector<PairResult> &pairs,
+                         const std::string &manifest_json)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr)
         return false;
-    std::fprintf(f, "{\n  \"apps\": [\n");
+    std::fprintf(f, "{\n  \"manifest\": %s,\n",
+                 manifest_json.empty() ? "null" : manifest_json.c_str());
+    std::fprintf(f, "  \"apps\": [\n");
     for (std::size_t a = 0; a < pairs.size(); ++a) {
         std::fprintf(
             f,

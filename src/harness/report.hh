@@ -59,10 +59,13 @@ struct Fig4Series
 Fig4Series fig4Series(const std::vector<std::string> &labels,
                       const std::vector<const sys::RunResult *> &runs);
 
-/** Write the Figure 4 series as JSON. @return false on I/O error. */
+/** Write the Figure 4 series as JSON, with the invocation's
+ *  RunManifest spliced in ("" renders "manifest": null).
+ *  @return false on I/O error. */
 bool writeFig4Json(const std::string &path,
                    const std::vector<std::string> &labels,
-                   const std::vector<const sys::RunResult *> &runs);
+                   const std::vector<const sys::RunResult *> &runs,
+                   const std::string &manifest_json = "");
 
 /**
  * Measured memory parallelism of a run: the time-weighted mean number
@@ -82,10 +85,13 @@ std::string formatModelVsMeasured(
     const std::vector<PairResult> &pairs,
     const std::string &title);
 
-/** The same table as structured JSON. @return false on I/O error. */
+/** The same table as structured JSON, with the invocation's
+ *  RunManifest spliced in ("" renders "manifest": null).
+ *  @return false on I/O error. */
 bool writeModelVsMeasuredJson(const std::string &path,
                               const std::vector<std::string> &names,
-                              const std::vector<PairResult> &pairs);
+                              const std::vector<PairResult> &pairs,
+                              const std::string &manifest_json = "");
 
 /** Latbench: per-miss stall and total latency, base vs clustered. */
 std::string formatLatbench(const PairResult &pair, double ns_per_cycle,

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Central metrics registry: simulator components publish their counters
+ * declaratively (name -> address, or name -> gauge closure) instead of
+ * the sampler knowing every ad-hoc stats struct. The epoch Sampler
+ * snapshots every registered metric by walking one flat vector, so
+ * adding a counter to a component is one registerMetrics() line — no
+ * sampler change, no new plumbing through System.
+ *
+ * Two metric kinds:
+ *  - counter: a pointer to a live monotonically-increasing std::uint64_t
+ *    inside a component's stats struct (Core retires, Cache misses,
+ *    directory requests). The registry never owns the storage; the
+ *    component must outlive the registry's last snapshot.
+ *  - gauge: a closure evaluated at snapshot time for quantities with no
+ *    resident counter (MSHR occupancy scans, event-queue depth).
+ *
+ * Registration happens once at System construction and only when a
+ * Sampler exists, so the simulation hot path never sees the registry at
+ * all; snapshotting reads frozen state only and cannot perturb results.
+ */
+
+#ifndef MPC_OBS_REGISTRY_HH
+#define MPC_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mpc::obs
+{
+
+class MetricsRegistry
+{
+  public:
+    struct Metric
+    {
+        std::string name;
+        const std::uint64_t *counter = nullptr; ///< live counter, or
+        std::function<std::uint64_t()> gauge;   ///< sampled closure
+        bool isGauge = false;
+
+        std::uint64_t
+        read() const
+        {
+            return isGauge ? gauge() : *counter;
+        }
+    };
+
+    /** Register a live counter (not owned; must outlive snapshots). */
+    void
+    addCounter(std::string name, const std::uint64_t *counter)
+    {
+        MPC_ASSERT(counter != nullptr, "null counter registered");
+        insertName(name);
+        Metric m;
+        m.name = std::move(name);
+        m.counter = counter;
+        metrics_.push_back(std::move(m));
+    }
+
+    /** Register a derived quantity sampled via @p fn at snapshot time. */
+    void
+    addGauge(std::string name, std::function<std::uint64_t()> fn)
+    {
+        MPC_ASSERT(fn != nullptr, "null gauge registered");
+        insertName(name);
+        Metric m;
+        m.name = std::move(name);
+        m.gauge = std::move(fn);
+        m.isGauge = true;
+        metrics_.push_back(std::move(m));
+    }
+
+    const std::vector<Metric> &metrics() const { return metrics_; }
+    std::size_t size() const { return metrics_.size(); }
+
+    /** Registered names, in registration order. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(metrics_.size());
+        for (const Metric &m : metrics_)
+            out.push_back(m.name);
+        return out;
+    }
+
+    /** Read every metric, in registration order. */
+    std::vector<std::uint64_t>
+    snapshot() const
+    {
+        std::vector<std::uint64_t> out;
+        out.reserve(metrics_.size());
+        for (const Metric &m : metrics_)
+            out.push_back(m.read());
+        return out;
+    }
+
+  private:
+    void
+    insertName(const std::string &name)
+    {
+        MPC_ASSERT(seen_.insert(name).second,
+                   "duplicate metric name registered");
+    }
+
+    std::vector<Metric> metrics_;
+    std::set<std::string> seen_;
+};
+
+} // namespace mpc::obs
+
+#endif // MPC_OBS_REGISTRY_HH

@@ -1,0 +1,202 @@
+#include "obs/sampler.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mpc::obs
+{
+
+Sampler::Sampler(Tick period, const MetricsRegistry *registry)
+    : period_(period), registry_(registry)
+{
+    MPC_ASSERT(period_ > 0, "sampler period must be positive");
+    MPC_ASSERT(registry_ != nullptr, "sampler needs a registry");
+}
+
+void
+Sampler::addNode(int node, MissTracker *tracker)
+{
+    MPC_ASSERT(!began_, "sampler node added after begin()");
+    nodes_.push_back({node, tracker, {}});
+}
+
+void
+Sampler::addCore(int core_id, const CoreObs *core)
+{
+    MPC_ASSERT(!began_, "sampler core added after begin()");
+    cores_.push_back({core_id, core, {}});
+}
+
+void
+Sampler::begin(Tick start)
+{
+    began_ = true;
+    nextDue_ = start + period_;
+    lastValues_ = registry_->snapshot();
+    for (Node &n : nodes_)
+        n.last = snapMlp(*n.tracker);
+    for (Core &c : cores_)
+        c.last = c.obs->taxonomy();
+}
+
+Sampler::MlpSnap
+Sampler::snapMlp(const MissTracker &tracker)
+{
+    const OccupancyHistogram &h = tracker.mlpHistogram();
+    MlpSnap s;
+    s.total = h.totalTicks();
+    for (int level = 1; level <= h.maxLevel(); ++level) {
+        const Tick ticks = h.ticksAt(level);
+        s.ticks1 += ticks;
+        s.weighted1 += static_cast<double>(ticks) * level;
+    }
+    return s;
+}
+
+void
+Sampler::sampleAt(Tick t)
+{
+    MPC_ASSERT(began_, "sampleAt before begin()");
+    // Keep timestamps strictly monotonic: finalize() at an exact epoch
+    // boundary, or a duplicate boundary hit, contributes nothing.
+    if (!epochs_.empty() && t <= epochs_.back().t)
+        return;
+
+    Epoch e;
+    e.t = t;
+
+    // Registry: counters as deltas, gauges as-is.
+    const auto &metrics = registry_->metrics();
+    std::vector<std::uint64_t> values = registry_->snapshot();
+    e.metrics.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        e.metrics[i] = metrics[i].isGauge
+                           ? values[i]
+                           : values[i] - lastValues_[i];
+    lastValues_ = std::move(values);
+
+    // Per-node MLP: charge tracker time up to the boundary (sync is
+    // the idempotent no-transition path), then diff the cumulative
+    // histogram sums.
+    for (Node &n : nodes_) {
+        n.tracker->sync(t);
+        const MlpSnap cur = snapMlp(*n.tracker);
+        const double w1 = cur.weighted1 - n.last.weighted1;
+        const Tick t1 = cur.ticks1 - n.last.ticks1;
+        const Tick total = cur.total - n.last.total;
+        NodeEpoch ne;
+        ne.node = n.node;
+        ne.mlp = t1 > 0 ? w1 / static_cast<double>(t1) : 0.0;
+        ne.busyFrac = total > 0 ? static_cast<double>(t1) /
+                                      static_cast<double>(total)
+                                : 0.0;
+        e.nodes.push_back(ne);
+        n.last = cur;
+    }
+
+    // Per-core stall taxonomy deltas: successive differences of the
+    // cumulative taxonomy, so summing every epoch (plus the final
+    // partial one) reproduces the aggregate exactly.
+    for (Core &c : cores_) {
+        const StallTaxonomy &cur = c.obs->taxonomy();
+        CoreEpoch ce;
+        ce.core = c.core;
+        for (int i = 0; i < numStallWhy; ++i)
+            ce.stalls[i] = cur.slots[i] - c.last.slots[i];
+        e.cores.push_back(ce);
+        c.last = cur;
+    }
+
+    epochs_.push_back(std::move(e));
+    while (nextDue_ <= t)
+        nextDue_ += period_;
+}
+
+void
+Sampler::finalize(Tick now)
+{
+    if (!began_)
+        return;
+    // The run rarely ends on an epoch boundary; emit the remainder so
+    // the epoch series tiles the aggregates with nothing left over.
+    sampleAt(now);
+}
+
+std::string
+Sampler::toJson(const std::string &manifest_json) const
+{
+    std::ostringstream out;
+    out << "{\n\"schema\": \"mpc-samples-v1\",\n";
+    out << "\"manifest\": "
+        << (manifest_json.empty() ? "null" : manifest_json) << ",\n";
+    out << strprintf("\"period\": %llu,\n",
+                     static_cast<unsigned long long>(period_));
+    out << strprintf("\"epochCount\": %zu,\n", epochs_.size());
+
+    out << "\"metricNames\": [";
+    const auto &metrics = registry_->metrics();
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        out << (i > 0 ? ", " : "");
+        std::string quoted;
+        json::escape(quoted, metrics[i].name);
+        out << quoted;
+    }
+    out << "],\n\"metricKinds\": [";
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        out << (i > 0 ? ", " : "")
+            << (metrics[i].isGauge ? "\"gauge\"" : "\"counter\"");
+    out << "],\n\"epochs\": [\n";
+
+    for (std::size_t n = 0; n < epochs_.size(); ++n) {
+        const Epoch &e = epochs_[n];
+        out << (n > 0 ? ",\n" : "");
+        out << strprintf("{\"t\": %llu, \"metrics\": [",
+                         static_cast<unsigned long long>(e.t));
+        for (std::size_t i = 0; i < e.metrics.size(); ++i)
+            out << (i > 0 ? ", " : "")
+                << strprintf("%llu", static_cast<unsigned long long>(
+                                         e.metrics[i]));
+        out << "], \"nodes\": [";
+        for (std::size_t i = 0; i < e.nodes.size(); ++i) {
+            const NodeEpoch &ne = e.nodes[i];
+            out << (i > 0 ? ", " : "")
+                << strprintf("{\"node\": %d, \"mlp\": %.6f, "
+                             "\"busyFrac\": %.6f}",
+                             ne.node, ne.mlp, ne.busyFrac);
+        }
+        out << "], \"cores\": [";
+        for (std::size_t i = 0; i < e.cores.size(); ++i) {
+            const CoreEpoch &ce = e.cores[i];
+            out << (i > 0 ? ", " : "")
+                << strprintf("{\"core\": %d, \"stalls\": {", ce.core);
+            for (int w = 0; w < numStallWhy; ++w)
+                out << (w > 0 ? ", " : "")
+                    << strprintf(
+                           "\"%s\": %llu",
+                           stallWhyName(static_cast<StallWhy>(w)),
+                           static_cast<unsigned long long>(ce.stalls[w]));
+            out << "}}";
+        }
+        out << "]}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+bool
+Sampler::writeJson(const std::string &path,
+                   const std::string &manifest_json) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = toJson(manifest_json);
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+} // namespace mpc::obs

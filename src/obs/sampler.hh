@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Epoch sampler: time-resolved telemetry on top of the end-of-run obs
+ * aggregates. Every N simulated cycles (MPC_SAMPLE=<cycles>) it
+ * snapshots the MetricsRegistry plus the per-node MLP accounting and
+ * per-core stall taxonomy, and emits one epoch of *deltas* — so the
+ * per-epoch rows tile the end-of-run aggregates exactly.
+ *
+ * The paper's effect is temporal (miss clustering changes *when*
+ * misses overlap), and the aggregates average warm-up, steady state,
+ * and drain into one number; the epoch series is what shows where in a
+ * run the transformed kernel earns its speedup.
+ *
+ * The sampler is driven from System::run between event draining and
+ * core ticking, reads frozen state only, and never schedules events —
+ * attaching it cannot change simulation results, and with MPC_SAMPLE
+ * unset no Sampler exists at all (one null check per loop iteration).
+ * In skip-ahead mode the run loop adds nextDue() to its wake
+ * computation so epochs land exactly on period boundaries, as they do
+ * in reference mode.
+ */
+
+#ifndef MPC_OBS_SAMPLER_HH
+#define MPC_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/metrics.hh"
+#include "obs/registry.hh"
+
+namespace mpc::obs
+{
+
+class Sampler
+{
+  public:
+    /** Per-node MLP over one epoch. */
+    struct NodeEpoch
+    {
+        int node = 0;
+        /** Mean outstanding read misses while >= 1 was outstanding. */
+        double mlp = 0.0;
+        /** Fraction of the epoch with >= 1 read miss outstanding. */
+        double busyFrac = 0.0;
+    };
+
+    /** Per-core stall-taxonomy delta over one epoch (retire slots). */
+    struct CoreEpoch
+    {
+        int core = 0;
+        std::uint64_t stalls[numStallWhy] = {};
+    };
+
+    /** One sampling epoch, ending at tick t (timestamps are strictly
+     *  monotonic across the epochs() sequence). */
+    struct Epoch
+    {
+        Tick t = 0;
+        /** Registry values, aligned with MetricsRegistry order:
+         *  counters as deltas over the epoch, gauges as the value at
+         *  the epoch end. */
+        std::vector<std::uint64_t> metrics;
+        std::vector<NodeEpoch> nodes;
+        std::vector<CoreEpoch> cores;
+    };
+
+    /**
+     * @param period Sampling period in cycles (> 0).
+     * @param registry Declaratively registered component counters and
+     *        gauges (not owned; registration completes before begin()).
+     */
+    Sampler(Tick period, const MetricsRegistry *registry);
+
+    /** Track node @p node's miss stream for per-epoch MLP. */
+    void addNode(int node, MissTracker *tracker);
+
+    /** Track core @p core_id's stall taxonomy deltas. */
+    void addCore(int core_id, const CoreObs *core);
+
+    Tick period() const { return period_; }
+
+    /** Next tick at which a sample is due (run-loop wake bound). */
+    Tick nextDue() const { return nextDue_; }
+
+    /** Capture baselines at run start (after all registration). */
+    void begin(Tick start);
+
+    /** Sample iff @p cycle has reached the next epoch boundary. */
+    void
+    maybeSample(Tick cycle)
+    {
+        if (cycle >= nextDue_)
+            sampleAt(cycle);
+    }
+
+    /** Emit the final partial epoch (if any time elapsed since the
+     *  last boundary) at end of run. */
+    void finalize(Tick now);
+
+    const std::vector<Epoch> &epochs() const { return epochs_; }
+
+    /**
+     * Render the whole series as a JSON document (schema
+     * "mpc-samples-v1"). @p manifest_json is the RunManifest object to
+     * embed, pre-rendered ("" embeds null).
+     */
+    std::string toJson(const std::string &manifest_json) const;
+
+    /** toJson to @p path with a trailing newline. @return success. */
+    bool writeJson(const std::string &path,
+                   const std::string &manifest_json) const;
+
+  private:
+    /** Cumulative MLP-histogram state, for epoch differencing. */
+    struct MlpSnap
+    {
+        double weighted1 = 0.0; ///< sum over levels>=1 of ticks*level
+        Tick ticks1 = 0;        ///< ticks with >= 1 read outstanding
+        Tick total = 0;         ///< all ticks accounted
+    };
+
+    struct Node
+    {
+        int node = 0;
+        MissTracker *tracker = nullptr;
+        MlpSnap last;
+    };
+
+    struct Core
+    {
+        int core = 0;
+        const CoreObs *obs = nullptr;
+        StallTaxonomy last;
+    };
+
+    void sampleAt(Tick t);
+    static MlpSnap snapMlp(const MissTracker &tracker);
+
+    const Tick period_;
+    const MetricsRegistry *registry_;
+    bool began_ = false;
+    Tick nextDue_ = 0;
+    std::vector<std::uint64_t> lastValues_;
+    std::vector<Node> nodes_;
+    std::vector<Core> cores_;
+    std::vector<Epoch> epochs_;
+};
+
+} // namespace mpc::obs
+
+#endif // MPC_OBS_SAMPLER_HH

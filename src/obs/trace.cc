@@ -76,7 +76,18 @@ Tracer::dumpChromeJson(const std::string &path) const
         }
         sep = true;
     }
-    std::fputs("\n]}\n", f);
+    // Footer: how many events the ring overwrote before this dump. A
+    // non-zero count means the timeline has a hole at its old end —
+    // say so on stderr too, since nothing in the JSON is eye-catching.
+    const std::uint64_t lost = dropped();
+    std::fprintf(f, "\n],\n\"dropped_events\":%llu}\n",
+                 static_cast<unsigned long long>(lost));
+    if (lost > 0)
+        std::fprintf(stderr,
+                     "obs: trace ring overflowed: %llu event(s) dropped "
+                     "(capacity %zu); oldest events are missing from %s\n",
+                     static_cast<unsigned long long>(lost),
+                     ring_.size(), path.c_str());
     return std::fclose(f) == 0;
 }
 

@@ -97,6 +97,13 @@ class Tracer
     /** Events ever recorded (including overwritten ones). */
     std::uint64_t recorded() const { return count_; }
 
+    /** Events overwritten by ring wrap-around (lost from any dump). */
+    std::uint64_t
+    dropped() const
+    {
+        return count_ > ring_.size() ? count_ - ring_.size() : 0;
+    }
+
     std::size_t capacity() const { return ring_.size(); }
 
     /**

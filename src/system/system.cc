@@ -46,13 +46,16 @@ System::System(const SystemConfig &cfg,
 
     sync_ = std::make_unique<cpu::SyncDevice>(n);
 
-    // Observability: created when metrics or tracing are requested, or
-    // when the validation layer needs the shared tracer.
+    // Observability: created when metrics, tracing, or epoch sampling
+    // are requested, or when the validation layer needs the shared
+    // tracer. Sampling implies the metrics collectors (it diffs them).
     obs::ObsConfig ocfg;
-    ocfg.metrics = cfg_.obsMetrics;
+    ocfg.metrics = cfg_.obsMetrics || cfg_.samplePeriod > 0;
     ocfg.tracePath = cfg_.obsTracePath;
     ocfg.trace = !cfg_.obsTracePath.empty() || cfg_.validate;
     ocfg.traceCapacity = cfg_.obsTraceCapacity;
+    ocfg.samplePeriod = cfg_.samplePeriod;
+    ocfg.samplePath = cfg_.samplePath;
     if (ocfg.metrics || ocfg.trace)
         observer_ = std::make_unique<obs::Observer>(ocfg);
 
@@ -109,7 +112,23 @@ System::System(const SystemConfig &cfg,
                 tr->setTrackName(tracker->counterTrackId(),
                                  strprintf("node %d mshr", i));
             }
+            if (obs::MetricsRegistry *reg = observer_->registry()) {
+                cores_.back()->registerMetrics(
+                    *reg, strprintf("core%d", i));
+                if (!hiers_.back()->singleLevel())
+                    hiers_.back()->l1().registerMetrics(
+                        *reg, strprintf("node%d.l1", i));
+                hiers_.back()->l2().registerMetrics(
+                    *reg, strprintf("node%d.l2", i));
+            }
         }
+    }
+
+    if (observer_ && observer_->registry() != nullptr) {
+        obs::MetricsRegistry &reg = *observer_->registry();
+        eq_.registerMetrics(reg, "eventq");
+        if (fabric_)
+            fabric_->registerMetrics(reg, "fabric");
     }
 
     if (cfg_.validate) {
@@ -145,7 +164,11 @@ System::run(Tick max_cycles)
 {
     const int n = numCores();
     const bool skip = cfg_.skipAhead;
+    obs::Sampler *const sampler =
+        observer_ ? observer_->sampler() : nullptr;
     Tick cycle = eq_.now();
+    if (sampler != nullptr)
+        sampler->begin(cycle);
     for (;;) {
         bool all_done = true;
         for (auto &core : cores_) {
@@ -163,6 +186,12 @@ System::run(Tick max_cycles)
                   "runaway kernel?",
                   static_cast<unsigned long long>(max_cycles));
         eq_.advanceTo(cycle);
+        // Sample after the event drain, before core ticks — the same
+        // point in both step modes. Sampling reads frozen state only,
+        // so the extra skip-mode loop stops it forces (below) cannot
+        // change simulation results.
+        if (sampler != nullptr)
+            sampler->maybeSample(cycle);
         if (skip) {
             // Quiescence skip-ahead: tick only cores with useful work.
             // Wakes are re-read per core, in core order, because a tick
@@ -184,6 +213,12 @@ System::run(Tick max_cycles)
                 validator_->onNoEvent(cycle);
                 break;
             }
+            // Stop at epoch boundaries too, so skip-ahead epochs land
+            // exactly where reference mode's do. Checked after the
+            // deadlock branch: a sampler tick is always finite and
+            // must not mask a dead event queue.
+            if (sampler != nullptr && next != maxTick)
+                next = std::min(next, sampler->nextDue());
             cycle = next == maxTick ? max_cycles
                                     : std::max(cycle + 1, next);
         } else {
@@ -252,6 +287,10 @@ System::run(Tick max_cycles)
             !observer_->dumpTrace(cfg_.obsTracePath))
             warn(strprintf("obs: could not write trace to %s",
                            cfg_.obsTracePath.c_str()));
+        if (!cfg_.samplePath.empty() &&
+            !observer_->dumpSamples(cfg_.samplePath, cfg_.manifestJson))
+            warn(strprintf("obs: could not write samples to %s",
+                           cfg_.samplePath.c_str()));
     }
     return res;
 }

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "codegen/codegen.hh"
+#include "common/json.hh"
+#include "harness/manifest.hh"
 #include "harness/parallel.hh"
 #include "harness/profiler.hh"
 #include "harness/report.hh"
@@ -451,6 +453,82 @@ TEST(Report, Fig4SeriesFeedsTableAndJsonFromOneSource)
     std::remove(path.c_str());
     EXPECT_NE(json.find("\"label\": \"clust\""), std::string::npos);
     EXPECT_NE(json.find("\"fracAtLeastRead\""), std::string::npos);
+    // No manifest passed: the member renders as an explicit null, so
+    // consumers can rely on the key being present.
+    EXPECT_NE(json.find("\"manifest\": null"), std::string::npos);
+}
+
+TEST(Manifest, ConfigKeyStableAndSensitiveToSimRelevantFields)
+{
+    const sys::SystemConfig config = sys::baseConfig();
+    const std::string key = configKey(config, 4);
+    EXPECT_EQ(key, configKey(config, 4));
+    EXPECT_NE(key, configKey(config, 8));
+
+    auto bigger = config;
+    bigger.hier.l2.numMshrs *= 2;
+    EXPECT_NE(key, configKey(bigger, 4));
+
+    // Observability/validation toggles are guaranteed result-neutral
+    // and must NOT move the key (or every obs run would miss the
+    // cache its plain twin filled).
+    auto observed = config;
+    observed.obsMetrics = true;
+    observed.validate = true;
+    observed.samplePeriod = 1000;
+    EXPECT_EQ(key, configKey(observed, 4));
+
+    EXPECT_EQ(configHash(config, 4), fnv1a(key));
+}
+
+TEST(Manifest, RunManifestJsonCarriesEveryField)
+{
+    auto config = sys::baseConfig();
+    config.samplePeriod = 5000;
+    const RunManifest m = makeRunManifest(
+        "em3d", "kernel text", config, 4, "fuse,cluster");
+    const std::string text = m.toJson();
+
+    json::Value root;
+    ASSERT_TRUE(json::parse(text, root)) << text;
+    EXPECT_EQ(json::strField(root, "schema"), "mpc-manifest-v1");
+    EXPECT_EQ(json::strField(root, "workload"), "em3d");
+    EXPECT_EQ(json::strField(root, "config"), config.name);
+    EXPECT_EQ(json::strField(root, "pipeline"), "fuse,cluster");
+    EXPECT_EQ(json::numField(root, "procs"), 4.0);
+    EXPECT_EQ(json::numField(root, "samplePeriod"), 5000.0);
+    EXPECT_EQ(json::strField(root, "kernelHash"),
+              json::hex64(fnv1a("kernel text")));
+    EXPECT_EQ(json::strField(root, "configHash"),
+              json::hex64(configHash(config, 4)));
+    const std::string tier = json::strField(root, "execTier");
+    EXPECT_TRUE(tier == "interp" || tier == "threaded") << tier;
+    const std::string mode = json::strField(root, "stepMode");
+    EXPECT_TRUE(mode == "skip" || mode == "reference") << mode;
+}
+
+TEST(Manifest, SplicesIntoArtifactWritersVerbatim)
+{
+    const PairResult pair = syntheticPair();
+    const std::string manifest =
+        makeInvocationManifest("test_bench", sys::baseConfig(), 0)
+            .toJson();
+    const std::string path = "harness_test_fig4_manifest.json";
+    ASSERT_TRUE(writeFig4Json(path, {"base", "clust"},
+                              {&pair.base.result, &pair.clust.result},
+                              manifest));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+
+    json::Value root;
+    ASSERT_TRUE(json::parse(json, root)) << json.substr(0, 200);
+    const json::Value *man = root.field("manifest");
+    ASSERT_NE(man, nullptr);
+    EXPECT_EQ(json::strField(*man, "workload"), "test_bench");
+    EXPECT_EQ(json::numField(*man, "procs"), 0.0);
 }
 
 TEST(PerRefStats, SimulatorTracksPerReferenceMisses)

@@ -9,9 +9,12 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "harness/autotune.hh"
 #include "transform/driver.hh"
 #include "transform/pipeline.hh"
@@ -139,6 +142,40 @@ TEST(Tune, WarmCacheServesEveryMeasurementWithIdenticalReport)
     EXPECT_EQ(warm.toString(), cold.toString());
     EXPECT_EQ(warm.toJson(), cold.toJson());
 
+    std::filesystem::remove_all(opts.cacheDir);
+}
+
+TEST(Tune, CacheEntriesCarryByteStableManifestProvenance)
+{
+    const workloads::Workload w = workloads::makeEm3d(tinySize());
+    TuneOptions opts = uniOptions();
+    opts.cacheDir = testing::TempDir() + "mpctune_manifest_cache";
+    std::filesystem::remove_all(opts.cacheDir);
+    tune(w, opts);
+
+    const std::string expect_hash =
+        json::hex64(configHash(opts.config, 1));
+    int entries = 0;
+    for (const auto &ent :
+         std::filesystem::directory_iterator(opts.cacheDir)) {
+        std::ifstream in(ent.path());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        json::Value root;
+        ASSERT_TRUE(json::parse(ss.str(), root)) << ent.path();
+        const json::Value *man = root.field("manifest");
+        ASSERT_NE(man, nullptr) << ent.path();
+        EXPECT_EQ(json::strField(*man, "schema"), "mpc-manifest-v1");
+        EXPECT_EQ(json::strField(*man, "workload"), w.name);
+        // Host must be blanked: cache entries are byte-stable across
+        // machines.
+        EXPECT_EQ(json::strField(*man, "host"), "");
+        EXPECT_EQ(json::strField(*man, "configHash"), expect_hash);
+        EXPECT_FALSE(json::strField(*man, "execTier").empty());
+        EXPECT_FALSE(json::strField(*man, "kernelHash").empty());
+        ++entries;
+    }
+    EXPECT_GT(entries, 0);
     std::filesystem::remove_all(opts.cacheDir);
 }
 

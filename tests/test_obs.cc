@@ -132,6 +132,33 @@ TEST(Tracer, RingOverwritesOldestButKeepsCounts)
         tracer.record(i, 0, "e");
     EXPECT_EQ(tracer.size(), 4u);
     EXPECT_EQ(tracer.recorded(), 10u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Tracer, DumpReportsDroppedEventsInFooter)
+{
+    const std::string path = "obs_test_dropped_trace.json";
+    {
+        // Overflowing ring: 10 recorded into capacity 4 -> 6 dropped.
+        obs::Tracer tracer(4);
+        for (int i = 0; i < 10; ++i)
+            tracer.record(i, 0, "e");
+        ASSERT_TRUE(tracer.dumpChromeJson(path));
+        const std::string json = readFile(path);
+        std::remove(path.c_str());
+        EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos)
+            << json;
+    }
+    {
+        // No overflow: the footer must report zero.
+        obs::Tracer tracer(16);
+        tracer.record(1, 0, "e");
+        ASSERT_TRUE(tracer.dumpChromeJson(path));
+        const std::string json = readFile(path);
+        std::remove(path.c_str());
+        EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos)
+            << json;
+    }
 }
 
 TEST(MissTracker, MlpHistogramMatchesHandComputedOracle)

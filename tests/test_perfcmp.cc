@@ -153,5 +153,51 @@ TEST(PerfcmpCompare, SubResolutionRowsAreSkippedNotMissing)
     EXPECT_TRUE(r.added.empty());
 }
 
+TEST(PerfcmpJson, RendersRowsVerdictsAndLabelLists)
+{
+    const std::map<std::string, double> base{
+        {"a", 1.0}, {"b", 2.0}, {"vanished", 1.0}};
+    const std::map<std::string, double> next{
+        {"a", 2.0}, {"b", 1.0}, {"brand_new", 3.0}};
+    const CompareResult r = compare(base, next, 5.0);
+    const std::string json = compareJson(r, 5.0);
+
+    EXPECT_NE(json.find("\"schema\": \"perfcmp-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"compared\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"regressions\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"label\": \"a\""), std::string::npos);
+    EXPECT_NE(json.find("\"verdict\": \"regression\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"verdict\": \"faster\""), std::string::npos);
+    EXPECT_NE(json.find("\"missing\": [\"vanished\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"added\": [\"brand_new\"]"),
+              std::string::npos);
+    // Every row renders a speedup ratio for trending.
+    EXPECT_NE(json.find("\"speedup\": 0.500000"), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\": 2.000000"), std::string::npos);
+}
+
+TEST(PerfcmpJson, EscapesLabelsAndHandlesEmptyResult)
+{
+    CompareResult r;
+    CompareRow row;
+    row.label = "odd \"label\"\\path";
+    row.baseSeconds = 1.0;
+    row.newSeconds = 1.0;
+    row.speedup = 1.0;
+    r.rows.push_back(row);
+    r.compared = 1;
+    const std::string json = compareJson(r, 10.0);
+    EXPECT_NE(json.find("odd \\\"label\\\"\\\\path"),
+              std::string::npos);
+
+    const CompareResult empty;
+    const std::string ej = compareJson(empty, 10.0);
+    EXPECT_NE(ej.find("\"rows\": []"), std::string::npos);
+    EXPECT_NE(ej.find("\"missing\": []"), std::string::npos);
+}
+
 } // namespace
 } // namespace mpc::perfcmp

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Epoch sampler tests: the per-epoch stall-taxonomy deltas must tile
+ * the run's aggregate taxonomy exactly (no slot counted twice or
+ * dropped at an epoch boundary); sampled timestamps must be strictly
+ * monotonic; per-epoch registry counter deltas must sum to the final
+ * counters; turning sampling on must leave simulation results
+ * bit-identical in both step modes; and the time-series JSON must
+ * parse and carry the spliced manifest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "kisa/program.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "system/system.hh"
+
+namespace mpc
+{
+namespace
+{
+
+using kisa::AsmBuilder;
+using kisa::Program;
+
+/** A loop with loads, FP arithmetic, stores, and a loop branch. */
+Program
+loopProgram(int iters, Addr base)
+{
+    AsmBuilder b("loop");
+    b.iLoadImm(1, static_cast<std::int64_t>(base));
+    b.iLoadImm(2, 0);
+    b.iLoadImm(3, iters);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.ldF(4, 1, 0);
+    b.fAdd(4, 4, 4);
+    b.stF(1, 8, 4);
+    b.iAddImm(1, 1, 64);
+    b.iAddImm(2, 2, 1);
+    b.bLt(2, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(MetricsRegistry, CountersAndGaugesSnapshotInOrder)
+{
+    obs::MetricsRegistry reg;
+    std::uint64_t a = 7, b = 0;
+    reg.addCounter("x.a", &a);
+    reg.addGauge("x.depth", [&b] { return b + 100; });
+    reg.addCounter("x.b", &b);
+
+    ASSERT_EQ(reg.size(), 3u);
+    const auto names = reg.names();
+    EXPECT_EQ(names[0], "x.a");
+    EXPECT_EQ(names[1], "x.depth");
+    EXPECT_EQ(names[2], "x.b");
+
+    b = 5;
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap[0], 7u);
+    EXPECT_EQ(snap[1], 105u);   // gauge reads live state
+    EXPECT_EQ(snap[2], 5u);
+}
+
+TEST(Sampler, TimestampsStrictlyMonotonicInBothStepModes)
+{
+    for (const bool skip : {true, false}) {
+        kisa::MemoryImage image;
+        std::vector<Program> ps;
+        ps.push_back(loopProgram(300, 0x100000));
+        auto cfg = sys::baseConfig();
+        cfg.skipAhead = skip;
+        cfg.samplePeriod = 500;
+        sys::System s(cfg, std::move(ps), image);
+        s.run();
+
+        const obs::Sampler *sampler = s.observer()->sampler();
+        ASSERT_NE(sampler, nullptr);
+        const auto &epochs = sampler->epochs();
+        ASSERT_GT(epochs.size(), 2u) << "skip=" << skip;
+        for (std::size_t i = 1; i < epochs.size(); ++i)
+            ASSERT_LT(epochs[i - 1].t, epochs[i].t)
+                << "skip=" << skip << " epoch " << i;
+    }
+}
+
+TEST(Sampler, EpochStallDeltasTileAggregateTaxonomyExactly)
+{
+    for (const bool skip : {true, false}) {
+        kisa::MemoryImage image;
+        std::vector<Program> ps;
+        ps.push_back(loopProgram(300, 0x100000));
+        auto cfg = sys::baseConfig();
+        cfg.skipAhead = skip;
+        cfg.obsMetrics = true;
+        cfg.samplePeriod = 700;
+        sys::System s(cfg, std::move(ps), image);
+        const auto r = s.run();
+        ASSERT_TRUE(r.obsMetrics.enabled);
+
+        const obs::Sampler *sampler = s.observer()->sampler();
+        ASSERT_NE(sampler, nullptr);
+        std::uint64_t sums[obs::numStallWhy] = {};
+        for (const auto &epoch : sampler->epochs())
+            for (const auto &core : epoch.cores)
+                for (int w = 0; w < obs::numStallWhy; ++w)
+                    sums[w] += core.stalls[w];
+        // The final partial epoch is emitted by finalize(), so the
+        // deltas must tile the aggregate with nothing left over.
+        for (int w = 0; w < obs::numStallWhy; ++w)
+            EXPECT_EQ(sums[w], r.obsMetrics.stall.slots[w])
+                << "skip=" << skip << " slot "
+                << obs::stallWhyName(static_cast<obs::StallWhy>(w));
+    }
+}
+
+TEST(Sampler, EpochCounterDeltasSumToFinalCounters)
+{
+    kisa::MemoryImage image;
+    std::vector<Program> ps;
+    ps.push_back(loopProgram(300, 0x100000));
+    auto cfg = sys::baseConfig();
+    cfg.samplePeriod = 400;
+    sys::System s(cfg, std::move(ps), image);
+    const auto r = s.run();
+
+    const obs::MetricsRegistry *reg = s.observer()->registry();
+    const obs::Sampler *sampler = s.observer()->sampler();
+    ASSERT_NE(reg, nullptr);
+    ASSERT_NE(sampler, nullptr);
+
+    const auto names = reg->names();
+    std::size_t retired_idx = names.size();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == "core0.retired")
+            retired_idx = i;
+    ASSERT_LT(retired_idx, names.size());
+
+    std::uint64_t total = 0;
+    for (const auto &epoch : sampler->epochs()) {
+        ASSERT_EQ(epoch.metrics.size(), names.size());
+        total += epoch.metrics[retired_idx];
+    }
+    EXPECT_EQ(total, r.cores[0].retired);
+}
+
+TEST(Sampler, SamplingDoesNotPerturbResults)
+{
+    sys::RunResult results[2];
+    for (const int sample_on : {0, 1}) {
+        for (const bool skip : {true, false}) {
+            kisa::MemoryImage image;
+            auto cfg = sys::baseConfig();
+            cfg.skipAhead = skip;
+            if (sample_on)
+                cfg.samplePeriod = 300;
+            std::vector<Program> ps;
+            ps.push_back(loopProgram(250, 0x100000));
+            sys::System s(cfg, std::move(ps), image);
+            const auto r = s.run();
+            if (skip)
+                results[sample_on] = r;
+            else
+                EXPECT_EQ(r.cycles, results[sample_on].cycles);
+        }
+    }
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].instructions, results[1].instructions);
+    EXPECT_EQ(results[0].l1.loadMisses, results[1].l1.loadMisses);
+    EXPECT_EQ(results[0].l2.loadMisses, results[1].l2.loadMisses);
+    EXPECT_EQ(results[0].busyCycles, results[1].busyCycles);
+    EXPECT_EQ(results[0].dataReadCycles, results[1].dataReadCycles);
+    EXPECT_EQ(results[0].cpuCycles, results[1].cpuCycles);
+}
+
+TEST(Sampler, JsonParsesEmbedsManifestAndBoundsNodeFields)
+{
+    const std::string path = "sampler_test_samples.json";
+    kisa::MemoryImage image;
+    std::vector<Program> ps;
+    ps.push_back(loopProgram(300, 0x100000));
+    auto cfg = sys::baseConfig();
+    cfg.samplePeriod = 500;
+    cfg.samplePath = path;
+    cfg.manifestJson = "{\"schema\": \"mpc-manifest-v1\", "
+                       "\"workload\": \"unit\"}";
+    sys::System s(cfg, std::move(ps), image);
+    s.run();
+
+    const std::string text = readFile(path);
+    std::remove(path.c_str());
+    json::Value root;
+    ASSERT_TRUE(json::parse(text, root)) << text.substr(0, 200);
+    EXPECT_EQ(json::strField(root, "schema"), "mpc-samples-v1");
+    EXPECT_EQ(json::numField(root, "period"), 500.0);
+
+    const json::Value *manifest = root.field("manifest");
+    ASSERT_NE(manifest, nullptr);
+    EXPECT_EQ(json::strField(*manifest, "workload"), "unit");
+
+    const json::Value *epochs = root.field("epochs");
+    ASSERT_NE(epochs, nullptr);
+    ASSERT_EQ(epochs->t, json::Value::T::Arr);
+    EXPECT_EQ(static_cast<double>(epochs->arr.size()),
+              json::numField(root, "epochCount"));
+    ASSERT_FALSE(epochs->arr.empty());
+    for (const json::Value &e : epochs->arr) {
+        const json::Value *nodes = e.field("nodes");
+        ASSERT_NE(nodes, nullptr);
+        for (const json::Value &node : nodes->arr) {
+            const double mlp = json::numField(node, "mlp");
+            const double busy = json::numField(node, "busyFrac");
+            EXPECT_GE(mlp, 0.0);
+            EXPECT_GE(busy, 0.0);
+            EXPECT_LE(busy, 1.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace mpc

@@ -18,6 +18,9 @@
  *                         threshold OR any base label is missing from
  *                         the new side (default: report only — intended
  *                         for CI jobs that warn without gating merges)
+ *   --json <path>         also write the comparison as machine-readable
+ *                         JSON (schema "perfcmp-v1": per-label medians,
+ *                         ratios, verdicts) for CI archiving/trending
  *
  * The comparison engine lives in perfcmp_core.hh so the unit tests can
  * drive it directly.
@@ -37,6 +40,7 @@ main(int argc, char **argv)
 
     double threshold_pct = 10.0;
     bool fail_on_regression = false;
+    std::string json_path;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -44,9 +48,12 @@ main(int argc, char **argv)
             threshold_pct = std::atof(argv[++i]);
         } else if (arg == "--fail-on-regression") {
             fail_on_regression = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: perfcmp [--threshold PCT] "
-                        "[--fail-on-regression] BASE[,..] NEW[,..]\n");
+                        "[--fail-on-regression] [--json PATH] "
+                        "BASE[,..] NEW[,..]\n");
             return 0;
         } else {
             positional.push_back(arg);
@@ -63,6 +70,18 @@ main(int argc, char **argv)
         return 2;
 
     const CompareResult result = compare(base, next, threshold_pct);
+
+    if (!json_path.empty()) {
+        std::FILE *jf = std::fopen(json_path.c_str(), "w");
+        if (jf == nullptr) {
+            std::fprintf(stderr, "perfcmp: cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        const std::string json = compareJson(result, threshold_pct);
+        std::fwrite(json.data(), 1, json.size(), jf);
+        std::fclose(jf);
+    }
 
     std::printf("%-28s %12s %12s %9s\n", "bench", "base (s)", "new (s)",
                 "speedup");

@@ -237,6 +237,79 @@ compare(const std::map<std::string, double> &base,
     return out;
 }
 
+/** Append @p s as a quoted JSON string (local escape: this header is
+ *  deliberately standalone, no mpc_common dependency). */
+inline void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Machine-readable twin of the text report (schema "perfcmp-v1"):
+ * per-label medians, speedup ratios, and verdicts ("ok" / "faster" /
+ * "regression"), plus the missing/added label lists and the summary
+ * aggregates — everything a CI job needs to archive or trend without
+ * scraping the table.
+ */
+inline std::string
+compareJson(const CompareResult &result, double threshold_pct)
+{
+    std::string out = "{\n  \"schema\": \"perfcmp-v1\",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"thresholdPct\": %.6f,\n  \"compared\": %d,\n"
+                  "  \"regressions\": %d,\n  \"geomean\": %.6f,\n",
+                  threshold_pct, result.compared, result.regressions,
+                  result.geomean);
+    out += buf;
+    out += "  \"rows\": [";
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const CompareRow &row = result.rows[i];
+        out += i == 0 ? "\n    {\"label\": " : ",\n    {\"label\": ";
+        appendJsonString(out, row.label);
+        std::snprintf(buf, sizeof buf,
+                      ", \"baseSeconds\": %.6f, \"newSeconds\": %.6f, "
+                      "\"speedup\": %.6f, \"verdict\": \"%s\"}",
+                      row.baseSeconds, row.newSeconds, row.speedup,
+                      row.regression ? "regression"
+                      : row.faster   ? "faster"
+                                     : "ok");
+        out += buf;
+    }
+    out += result.rows.empty() ? "],\n" : "\n  ],\n";
+    const auto list = [&out](const char *name,
+                             const std::vector<std::string> &labels,
+                             bool last) {
+        out += "  \"";
+        out += name;
+        out += "\": [";
+        for (size_t i = 0; i < labels.size(); ++i) {
+            out += i == 0 ? "" : ", ";
+            appendJsonString(out, labels[i]);
+        }
+        out += last ? "]\n" : "],\n";
+    };
+    list("missing", result.missing, false);
+    list("added", result.added, true);
+    out += "}\n";
+    return out;
+}
+
 } // namespace mpc::perfcmp
 
 #endif // MPC_TOOLS_PERFCMP_CORE_HH
