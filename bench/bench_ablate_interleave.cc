@@ -30,6 +30,7 @@ main()
             job.config = bench::applyStepMode(sys::baseConfig());
             job.config.membus.interleave = policy;
             job.procs = 1;
+            job.scale = size.scale;
             jobs.push_back(std::move(job));
         }
     }

@@ -156,6 +156,7 @@ runApps(const std::vector<std::string> &names,
         job.workload = std::move(w);
         job.config = cfg;
         job.procs = procs;
+        job.scale = size.scale;
         jobs.push_back(std::move(job));
     }
 

@@ -12,6 +12,13 @@
  * counts and array checksums), so a stdout diff across
  * MPC_EXEC_TIER=interp|threaded is the bit-exactness check; host
  * timing goes to stderr and BENCH_functional.json.
+ *
+ * When MPC_STORE names a ResultStore, each workload's three rows are
+ * served from it when ALL three are present (entries are keyed by
+ * kernel hash x row/tier/scale/rep-count, schema "mpc-funcrow-v1");
+ * a partial hit runs the whole triple, because profile feeds verify.
+ * Served rows print the identical stdout line — the store carries the
+ * deterministic items/digest columns, never the wall time.
  */
 
 #include "bench_common.hh"
@@ -19,12 +26,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "codegen/codegen.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "harness/profiler.hh"
+#include "harness/store.hh"
 #include "ir/eval.hh"
 #include "kisa/exec_threaded.hh"
 #include "transform/driver.hh"
@@ -38,6 +49,17 @@ using namespace mpc;
 using clock_type = std::chrono::steady_clock;
 
 std::vector<bench::JsonRun> g_runs;
+std::unique_ptr<harness::ResultStore> g_store;
+
+/** The deterministic (stdout) part of one row, mirrored for the
+ *  store: label, item count, array digest. */
+struct StoredRow
+{
+    std::string label;
+    std::uint64_t items = 0;
+    std::uint64_t digest = 0;
+};
+std::vector<StoredRow> g_rows;
 
 // Each row's timed section runs a fixed number of times on fresh
 // state (memory image / kernel clone rebuilt outside the timer) and
@@ -69,6 +91,80 @@ record(const std::string &label, double wall, std::uint64_t items,
     const double rate =
         wall > 0.0 ? static_cast<double>(items) / wall : 0.0;
     g_runs.push_back({label, wall, items, rate});
+    g_rows.push_back({label, items, digest});
+}
+
+/** Store key for one row of one workload on one tier: kernel-IR hash
+ *  x (row kind, scale, tier, rep counts — anything that changes the
+ *  deterministic columns). */
+std::string
+rowKey(const workloads::Workload &w, int scale, const char *tier,
+       const char *row)
+{
+    return json::hex64(harness::fnv1a(w.kernel.toString())) +
+           json::hex64(harness::fnv1a(strprintf(
+               "func|workload=%s|scale=%d|tier=%s|execReps=%d|"
+               "verifyReps=%d|row=%s",
+               w.name.c_str(), scale, tier, execReps, verifyReps,
+               row)));
+}
+
+constexpr const char *kRowKinds[] = {"exec", "profile", "verify"};
+
+/**
+ * Serve all three of @p w's rows from the store, or none: a row that
+ * fails to fetch or parse means the whole triple runs (and the bad
+ * entry is quarantined so the rerun repairs it).
+ */
+bool
+serveFromStore(const workloads::Workload &w, int scale, const char *tier)
+{
+    if (g_store == nullptr)
+        return false;
+    std::vector<StoredRow> rows;
+    for (const char *row : kRowKinds) {
+        const std::string key = rowKey(w, scale, tier, row);
+        std::string text;
+        if (!g_store->get(key, text))
+            return false;
+        json::Value root;
+        if (!json::parse(text, root) ||
+            root.t != json::Value::T::Obj ||
+            json::strField(root, "schema") != "mpc-funcrow-v1") {
+            g_store->quarantine(key);
+            return false;
+        }
+        StoredRow r;
+        r.label = json::strField(root, "label");
+        r.items = static_cast<std::uint64_t>(
+            json::numField(root, "items"));
+        r.digest = std::strtoull(
+            json::strField(root, "digest").c_str(), nullptr, 16);
+        rows.push_back(std::move(r));
+    }
+    for (const StoredRow &r : rows)
+        record(r.label, 0.0, r.items, r.digest);
+    return true;
+}
+
+/** Publish the rows record() accumulated since @p first. */
+void
+publishRows(const workloads::Workload &w, int scale, const char *tier,
+            std::size_t first)
+{
+    if (g_store == nullptr)
+        return;
+    for (std::size_t i = first; i < g_rows.size(); ++i) {
+        const StoredRow &r = g_rows[i];
+        const char *row = kRowKinds[i - first];
+        std::string entry = "{\"schema\": \"mpc-funcrow-v1\", "
+                            "\"label\": ";
+        json::escape(entry, r.label);
+        entry += strprintf(", \"items\": %llu, \"digest\": \"%s\"}\n",
+                           static_cast<unsigned long long>(r.items),
+                           json::hex64(r.digest).c_str());
+        g_store->put(rowKey(w, scale, tier, row), entry);
+    }
 }
 
 /** exec/<wl>: run the lowered base kernel to completion on the tier. */
@@ -168,6 +264,7 @@ main()
 {
     const auto size = bench::scaleFromEnv();
     const kisa::ExecTier tier = kisa::execTierFromEnv();
+    g_store = mpc::harness::ResultStore::fromEnv();
     std::fprintf(stderr, "exec tier: %s, scale %d\n",
                  kisa::execTierName(tier), size.scale);
     std::printf("=== P2: functional execution (per-workload) ===\n");
@@ -179,13 +276,23 @@ main()
         names.push_back(name);
 
     const auto t0 = clock_type::now();
+    const char *tier_name = kisa::execTierName(tier);
     for (const auto &name : names) {
         const auto w = workloads::makeByName(name, size);
+        if (serveFromStore(w, size.scale, tier_name))
+            continue;
+        const std::size_t first = g_rows.size();
         benchExec(w);
         const auto profile = benchProfile(w);
         benchVerify(w, profile);
+        publishRows(w, size.scale, tier_name, first);
     }
 
+    if (g_store != nullptr) {
+        const auto s = g_store->stats();
+        std::fprintf(stderr, "store: %d hit(s), %d miss(es), %d bad\n",
+                     s.hits, s.misses, s.bad);
+    }
     bench::writeBenchJson("functional", g_runs, 1, secondsSince(t0));
     std::fprintf(stderr, "wrote BENCH_functional.json\n");
     return 0;

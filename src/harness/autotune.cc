@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <memory>
 #include <set>
-#include <sstream>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "harness/job.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
+#include "harness/store.hh"
 #include "transform/pipeline.hh"
 
 namespace mpc::harness
@@ -19,81 +19,21 @@ namespace mpc::harness
 namespace
 {
 
-/** The full cache key: the shared configKey() provenance string plus
- *  the tuner-specific tail. Byte-identical to the pre-manifest
- *  composite, so existing cache file names are unchanged. */
+/** "spec=... config=... tier=..." provenance line for the stderr
+ *  cache-hit echo, from a stored entry's run manifest. Empty when the
+ *  manifest is missing (a hand-seeded store entry). */
 std::string
-tuneKey(const sys::SystemConfig &config, int procs,
-        const std::string &spec, Tick max_cycles)
+manifestSummary(const std::string &manifest_json)
 {
-    return configKey(config, procs) +
-           strprintf("|spec=%s|maxCycles=%llu", spec.c_str(),
-                     static_cast<unsigned long long>(max_cycles));
-}
-
-/** BENCH-shaped cache entry ("runs" array with label/simCycles, plus
- *  the measured MLP) carrying the producing run's manifest;
- *  wallSeconds/cyclesPerSec are zeroed and the manifest's host field
- *  is blanked by the caller — cache entries must be byte-stable
- *  across hosts and reruns. */
-std::string
-cacheEntryJson(const std::string &spec, std::uint64_t cycles,
-               double mlp, const std::string &manifest_json)
-{
-    std::string out = "{\n  \"schema\": \"mpctune-cache-v1\",\n"
-                      "  \"manifest\": ";
-    out += manifest_json.empty() ? "null" : manifest_json;
-    out += ",\n  \"spec\": ";
-    json::escape(out, spec);
-    out += ",\n  \"runs\": [\n    {\"label\": ";
-    json::escape(out, spec);
-    out += strprintf(
-        ", \"wallSeconds\": 0.0, \"simCycles\": %llu, "
-        "\"cyclesPerSec\": 0.0, \"mlp\": %s}\n  ]\n}\n",
-        static_cast<unsigned long long>(cycles),
-        json::num(mlp).c_str());
-    return out;
-}
-
-bool
-readCacheEntry(const std::string &path, const std::string &spec,
-               std::uint64_t &cycles, double &mlp,
-               std::string &manifest_summary)
-{
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    json::Value root;
-    if (!json::parse(buffer.str(), root) ||
-        root.t != json::Value::T::Obj)
-        return false;
-    if (json::strField(root, "schema") != "mpctune-cache-v1" ||
-        json::strField(root, "spec") != spec)
-        return false;
-    const json::Value *runs = root.field("runs");
-    if (runs == nullptr || runs->t != json::Value::T::Arr ||
-        runs->arr.empty())
-        return false;
-    const json::Value &run = runs->arr[0];
-    if (json::strField(run, "label") != spec)
-        return false;
-    // Pre-manifest cache entries are still valid; they just have no
-    // provenance to echo.
-    const json::Value *man = root.field("manifest");
-    if (man != nullptr && man->t == json::Value::T::Obj) {
-        const std::string pipe = json::strField(*man, "pipeline");
-        manifest_summary = strprintf(
-            "spec=%s config=%s tier=%s",
-            pipe.empty() ? "(base)" : pipe.c_str(),
-            json::strField(*man, "configHash").c_str(),
-            json::strField(*man, "execTier").c_str());
-    }
-    cycles = static_cast<std::uint64_t>(
-        json::numField(run, "simCycles", -1.0));
-    mlp = json::numField(run, "mlp");
-    return json::numField(run, "simCycles", -1.0) >= 0.0;
+    json::Value man;
+    if (manifest_json.empty() || !json::parse(manifest_json, man) ||
+        man.t != json::Value::T::Obj)
+        return "";
+    const std::string pipe = json::strField(man, "pipeline");
+    return strprintf("spec=%s config=%s tier=%s",
+                     pipe.empty() ? "(base)" : pipe.c_str(),
+                     json::strField(man, "configHash").c_str(),
+                     json::strField(man, "execTier").c_str());
 }
 
 /** The default-everything spec body the degree/factor variants edit. */
@@ -134,17 +74,6 @@ candidateSpecs(const transform::DriverParams &params)
     // The minimal pipeline: clustering alone.
     add("fuse,cluster");
     return specs;
-}
-
-std::string
-cacheFileName(const ir::Kernel &kernel, const sys::SystemConfig &config,
-              int procs, const std::string &spec, Tick max_cycles)
-{
-    return strprintf(
-        "tune_%016llx_%016llx.json",
-        static_cast<unsigned long long>(fnv1a(kernel.toString())),
-        static_cast<unsigned long long>(
-            fnv1a(tuneKey(config, procs, spec, max_cycles))));
 }
 
 std::string
@@ -335,37 +264,23 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
         }
     }
 
-    // --- stage 2b: simulate (through the cache) ----------------------
+    // --- stage 2b: simulate (through the result store) ---------------
     const bool caching = !opts.cacheDir.empty();
+    std::unique_ptr<ResultStore> store;
     if (caching)
-        std::filesystem::create_directories(opts.cacheDir);
-    const auto cachePath = [&](const std::string &spec) {
-        return opts.cacheDir + "/" +
-               cacheFileName(workload.kernel, opts.config, procs, spec,
-                             opts.maxCycles);
-    };
-    // Cache-entry provenance: built from the UNscaled opts.config
-    // (matching cacheFileName's key) with the host blanked, so entries
-    // stay byte-stable across hosts and reruns.
-    const std::string kernel_text = workload.kernel.toString();
-    const auto cacheManifest = [&](const std::string &spec) {
-        RunManifest m = makeRunManifest(
-            workload.name, kernel_text, opts.config, procs,
-            spec == "(base)" ? std::string() : spec);
-        m.host = "";
-        return m.toJson();
-    };
+        store = std::make_unique<ResultStore>(opts.cacheDir);
+    ResultStore *const store_ptr = store.get();
 
     struct SimJob
     {
         int candidate = -1;     ///< -1: the untransformed base run
-        std::string spec;       ///< cache label ("(base)" for base)
+        std::string spec;       ///< display label ("(base)" for base)
         std::uint64_t cycles = 0;
         double mlp = 0.0;
         bool fromCache = false;
         bool failed = false;
         std::string note;
-        std::string manifestSummary;    ///< from the cached entry
+        std::string summary;    ///< provenance from the stored entry
     };
     std::vector<SimJob> sims;
     {
@@ -386,15 +301,7 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
     std::vector<std::string> labels;
     for (SimJob &job : sims) {
         labels.push_back(workload.name + ":" + job.spec);
-        jobs.push_back([&job, &workload, &opts, &cachePath,
-                        &cacheManifest, caching, procs] {
-            if (caching &&
-                readCacheEntry(cachePath(job.spec), job.spec,
-                               job.cycles, job.mlp,
-                               job.manifestSummary)) {
-                job.fromCache = true;
-                return;
-            }
+        jobs.push_back([&job, &workload, &opts, store_ptr, procs] {
             try {
                 RunSpec spec;
                 spec.config = opts.config;
@@ -402,18 +309,18 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
                 spec.maxCycles = opts.maxCycles;
                 if (job.candidate >= 0)
                     spec.pipeline = job.spec;
-                const WorkloadRun run = runWorkload(workload, spec);
+                bool from_store = false;
+                const WorkloadRun run = runStoredWorkload(
+                    workload, spec, opts.scale, store_ptr,
+                    &from_store);
                 job.cycles = run.result.cycles;
                 job.mlp = measuredMlp(run.result);
+                job.fromCache = from_store;
+                if (from_store)
+                    job.summary = manifestSummary(run.manifestJson);
             } catch (const std::exception &e) {
                 job.failed = true;
                 job.note = e.what();
-                return;
-            }
-            if (caching) {
-                std::ofstream out(cachePath(job.spec));
-                out << cacheEntryJson(job.spec, job.cycles, job.mlp,
-                                      cacheManifest(job.spec));
             }
         });
     }
@@ -423,13 +330,13 @@ tune(const workloads::Workload &workload, const TuneOptions &opts)
     for (const SimJob &job : sims) {
         if (job.fromCache) {
             ++report.cacheHits;
-            // Echo the cached entry's provenance. Stderr only (stdout
-            // must not depend on cache state), and from this
+            // Echo the stored entry's provenance. Stderr only (stdout
+            // must not depend on store state), and from this
             // sequential loop, not the parallel jobs, so the order is
             // deterministic.
-            if (!job.manifestSummary.empty())
+            if (!job.summary.empty())
                 std::fprintf(stderr, "mpctune: cache hit: %s\n",
-                             job.manifestSummary.c_str());
+                             job.summary.c_str());
         } else if (caching && !job.failed)
             ++report.cacheMisses;
         if (job.candidate < 0) {

@@ -21,13 +21,15 @@
  *     through harness::ParallelRunner. A per-job try/catch keeps one
  *     bad candidate from aborting the sweep.
  *
- * Simulation results live in an on-disk cache keyed by
- * (FNV-1a of the kernel IR text) x (FNV-1a of config+procs+spec), so
- * re-running a tune never re-simulates: the second run is 100% cache
- * hits with byte-identical report output. Cache files are BENCH-shaped
- * JSON ("runs" array with label/simCycles) so perfcmp and the existing
- * report plumbing can read them. Hit/miss counts go to stderr only —
- * stdout must not depend on cache state.
+ * Simulation results live in the shared content-addressed ResultStore
+ * (harness/store.hh), keyed by the Job layer's content key —
+ * (FNV-1a of the kernel IR text) x (FNV-1a of configKey + spec tail) —
+ * so re-running a tune never re-simulates: the second run is 100%
+ * store hits with byte-identical report output, and a tune shares
+ * results with any farm sweep or bench that ran the same jobs against
+ * the same store. Hit/miss counts go to stderr only — stdout must not
+ * depend on store state. (PR 7's private tune_*.json cache files were
+ * absorbed into this store.)
  */
 
 #ifndef MPC_HARNESS_AUTOTUNE_HH
@@ -48,9 +50,12 @@ struct TuneOptions
     sys::SystemConfig config = sys::baseConfig();
     int procs = -1;         ///< -1: the workload's default
     int simBudget = 8;      ///< candidates simulated after model pruning
-    std::string cacheDir;   ///< empty: caching off
+    /** ResultStore directory for sim results; empty: caching off. */
+    std::string cacheDir;
     int threads = 0;        ///< ParallelRunner threads (0 = default)
     Tick maxCycles = Tick(1) << 36;
+    /** Size scale the workload was built with (job-key input). */
+    int scale = 2;
 };
 
 /** One candidate spec's trip through the two stages. */
@@ -112,16 +117,6 @@ TuneReport tune(const workloads::Workload &workload,
  */
 std::vector<std::string> candidateSpecs(
     const transform::DriverParams &params);
-
-/**
- * Cache file name for one (workload kernel, config, procs, spec)
- * measurement: "tune_<kernelhash>_<confighash>.json" where kernelhash
- * digests the kernel IR text and confighash digests the config
- * geometry + procs + spec + sim budget cap. Exposed for tests.
- */
-std::string cacheFileName(const ir::Kernel &kernel,
-                          const sys::SystemConfig &config, int procs,
-                          const std::string &spec, Tick max_cycles);
 
 } // namespace mpc::harness
 

@@ -1,0 +1,545 @@
+#include "harness/farm.hh"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "harness/parallel.hh"
+#include "kisa/exec_threaded.hh"
+
+namespace fs = std::filesystem;
+
+namespace mpc::harness
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onSigint(int)
+{
+    g_interrupted = 1;
+}
+
+/** Ack/error messages travel on single-line channels. */
+std::string
+oneLine(std::string s)
+{
+    for (char &c : s)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return s;
+}
+
+/** Record a given-up job next to the store's corrupt entries, so a
+ *  quarantined sweep leaves evidence of what failed and why. */
+void
+quarantineJob(ResultStore &store, const std::string &key,
+              const Job &job, const std::string &error)
+{
+    const std::string dir = store.dir() + "/quarantine";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    json::ObjectWriter w;
+    w.field("schema", "mpc-farm-quarantine-v1")
+        .field("key", key)
+        .field("error", error)
+        .raw("job", job.toJson());
+    std::ofstream out(dir + "/job_" + key + ".json");
+    out << w.str() << "\n";
+}
+
+/**
+ * Resolve keys and serve every job already in the store; the rest
+ * land in @p pending in job order.
+ */
+void
+prescan(const std::vector<Job> &jobs, ResultStore &store,
+        FarmReport &rep, std::deque<std::size_t> &pending)
+{
+    rep.jobs.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        FarmJobOutcome &o = rep.jobs[i];
+        o.key = jobKey(jobs[i]);
+        std::string text;
+        if (store.get(o.key, text)) {
+            JobResult cached;
+            if (JobResult::fromJson(text, cached) && cached.ok) {
+                o.ok = true;
+                o.fromStore = true;
+                o.cycles = cached.result.cycles;
+                continue;
+            }
+            store.quarantine(o.key);
+        }
+        pending.push_back(i);
+    }
+}
+
+void
+tallyTotals(FarmReport &rep)
+{
+    rep.hits = rep.simulated = rep.failed = 0;
+    for (const FarmJobOutcome &o : rep.jobs) {
+        if (!o.ok)
+            ++rep.failed;
+        else if (o.fromStore)
+            ++rep.hits;
+        else
+            ++rep.simulated;
+    }
+}
+
+/** Pull each simulated job's cycle count out of the store for the
+ *  report table (hits got theirs during the prescan). */
+void
+fillCycles(FarmReport &rep, ResultStore &store)
+{
+    for (FarmJobOutcome &o : rep.jobs) {
+        if (!o.ok || o.fromStore)
+            continue;
+        std::string text;
+        JobResult result;
+        if (store.get(o.key, text) &&
+            JobResult::fromJson(text, result))
+            o.cycles = result.result.cycles;
+    }
+}
+
+FarmReport
+runInProcess(const std::vector<Job> &jobs, ResultStore &store,
+             const FarmOptions &opts)
+{
+    FarmReport rep;
+    std::deque<std::size_t> pending;
+    prescan(jobs, store, rep, pending);
+
+    std::size_t limit = pending.size();
+    if (opts.maxJobs > 0 &&
+        static_cast<std::size_t>(opts.maxJobs) < limit) {
+        limit = static_cast<std::size_t>(opts.maxJobs);
+        rep.interrupted = true;
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+        const std::size_t i = pending[k];
+        if (k >= limit) {
+            rep.jobs[i].error = "not dispatched (interrupted)";
+            continue;
+        }
+        tasks.push_back([&jobs, &store, &opts, &rep, i] {
+            FarmJobOutcome &o = rep.jobs[i];
+            for (int a = 0; a <= opts.retries && !o.ok; ++a) {
+                ++o.attempts;
+                bool from_store = false;
+                const JobResult r =
+                    runJob(jobs[i], &store, &from_store);
+                if (r.ok) {
+                    o.ok = true;
+                    o.fromStore = from_store;
+                    o.cycles = r.result.cycles;
+                } else {
+                    o.error = r.error;
+                }
+            }
+            if (!o.ok) {
+                o.quarantined = true;
+                quarantineJob(store, o.key, jobs[i], o.error);
+            }
+        });
+    }
+    ParallelRunner(opts.workers).run(tasks);
+    tallyTotals(rep);
+    return rep;
+}
+
+/** One forked `mpcfarm --worker` with its job/ack pipe ends. */
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int in = -1;                ///< coordinator -> worker job lines
+    int out = -1;               ///< worker -> coordinator ack lines
+    long job = -1;              ///< dispatched job index (-1 = idle)
+    std::string buf;            ///< partial ack line
+    std::chrono::steady_clock::time_point start;
+};
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+spawnWorker(WorkerProc &p, const std::string &binary,
+            const std::string &store_dir)
+{
+    int to_worker[2];
+    int from_worker[2];
+    if (pipe(to_worker) != 0)
+        return false;
+    if (pipe(from_worker) != 0) {
+        close(to_worker[0]);
+        close(to_worker[1]);
+        return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        for (const int fd : {to_worker[0], to_worker[1],
+                             from_worker[0], from_worker[1]})
+            close(fd);
+        return false;
+    }
+    if (pid == 0) {
+        dup2(to_worker[0], STDIN_FILENO);
+        dup2(from_worker[1], STDOUT_FILENO);
+        for (const int fd : {to_worker[0], to_worker[1],
+                             from_worker[0], from_worker[1]})
+            close(fd);
+        execl(binary.c_str(), "mpcfarm", "--worker", "--store",
+              store_dir.c_str(), static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    close(to_worker[0]);
+    close(from_worker[1]);
+    p.pid = pid;
+    p.in = to_worker[1];
+    p.out = from_worker[0];
+    p.job = -1;
+    p.buf.clear();
+    return true;
+}
+
+FarmReport
+runSubprocess(const std::vector<Job> &jobs, ResultStore &store,
+              const FarmOptions &opts)
+{
+    FarmReport rep;
+    std::deque<std::size_t> pending;
+    prescan(jobs, store, rep, pending);
+
+    const std::string binary =
+        opts.workerBinary.empty() ? "/proc/self/exe"
+                                  : opts.workerBinary;
+    int workers =
+        opts.workers > 0 ? opts.workers : ParallelRunner::defaultThreads();
+    workers = std::max(
+        1, std::min<int>(workers, static_cast<int>(pending.size())));
+
+    // The coordinator owns ^C: stop dispatching, drain in-flight jobs
+    // (workers ignore SIGINT), report interrupted. EPIPE from a dead
+    // worker must come back as a write() error, not kill us.
+    g_interrupted = 0;
+    struct sigaction sa_int = {};
+    struct sigaction old_int = {};
+    sa_int.sa_handler = onSigint;
+    sigaction(SIGINT, &sa_int, &old_int);
+    struct sigaction sa_pipe = {};
+    struct sigaction old_pipe = {};
+    sa_pipe.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &sa_pipe, &old_pipe);
+
+    std::vector<WorkerProc> procs(
+        static_cast<std::size_t>(workers));
+    int completions = 0;
+    bool stop = pending.empty();
+
+    const auto failAttempt = [&](long i, const std::string &why) {
+        FarmJobOutcome &o = rep.jobs[static_cast<std::size_t>(i)];
+        o.error = why;
+        if (o.attempts <= opts.retries) {
+            pending.push_front(static_cast<std::size_t>(i));
+        } else {
+            o.quarantined = true;
+            quarantineJob(store, o.key,
+                          jobs[static_cast<std::size_t>(i)], o.error);
+        }
+    };
+
+    const auto dispatch = [&](WorkerProc &p) {
+        if (pending.empty())
+            return false;
+        const std::size_t i = pending.front();
+        if (!writeAll(p.in, jobs[i].toJson() + "\n"))
+            return false;    // worker died; its EOF resolves it
+        pending.pop_front();
+        ++rep.jobs[i].attempts;
+        p.job = static_cast<long>(i);
+        p.start = std::chrono::steady_clock::now();
+        return true;
+    };
+
+    const auto reap = [](WorkerProc &p) {
+        if (p.pid >= 0)
+            waitpid(p.pid, nullptr, 0);
+        if (p.in >= 0)
+            close(p.in);
+        if (p.out >= 0)
+            close(p.out);
+        p.pid = -1;
+        p.in = -1;
+        p.out = -1;
+    };
+
+    while (true) {
+        if (g_interrupted && !stop) {
+            stop = true;
+            rep.interrupted = true;
+        }
+        if (opts.maxJobs > 0 && completions >= opts.maxJobs &&
+            !stop) {
+            stop = true;
+            rep.interrupted = true;
+        }
+
+        // Feed idle workers (spawning replacements as needed).
+        if (!stop) {
+            for (WorkerProc &p : procs) {
+                if (pending.empty())
+                    break;
+                if (p.pid < 0 &&
+                    !spawnWorker(p, binary, store.dir())) {
+                    stop = true;
+                    rep.interrupted = true;
+                    break;
+                }
+                if (p.job < 0)
+                    dispatch(p);
+            }
+        }
+        // Idle workers with nothing further coming: close their job
+        // pipe so they exit on EOF.
+        for (WorkerProc &p : procs) {
+            if (p.pid >= 0 && p.job < 0 && p.in >= 0 &&
+                (stop || pending.empty())) {
+                close(p.in);
+                p.in = -1;
+            }
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owners;
+        for (std::size_t w = 0; w < procs.size(); ++w) {
+            if (procs[w].pid >= 0) {
+                fds.push_back({procs[w].out, POLLIN, 0});
+                owners.push_back(w);
+            }
+        }
+        if (fds.empty()) {
+            if (stop || pending.empty())
+                break;
+            continue;    // respawn next iteration
+        }
+
+        // Short poll period: bounds SIGINT/timeout reaction time.
+        const int rc = poll(fds.data(),
+                            static_cast<nfds_t>(fds.size()), 200);
+        if (rc < 0 && errno != EINTR)
+            break;
+
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (fds[k].revents == 0)
+                continue;
+            WorkerProc &p = procs[owners[k]];
+            char tmp[4096];
+            const ssize_t n = read(p.out, tmp, sizeof(tmp));
+            if (n > 0) {
+                p.buf.append(tmp, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = p.buf.find('\n')) !=
+                       std::string::npos) {
+                    const std::string line = p.buf.substr(0, nl);
+                    p.buf.erase(0, nl + 1);
+                    const long i = p.job;
+                    p.job = -1;
+                    if (i < 0)
+                        continue;    // stray ack
+                    if (line.rfind("ok ", 0) == 0) {
+                        rep.jobs[static_cast<std::size_t>(i)].ok =
+                            true;
+                        ++completions;
+                    } else {
+                        std::string why = "worker error";
+                        const auto sp = line.find(
+                            ' ', line.rfind("err ", 0) == 0 ? 4 : 0);
+                        if (sp != std::string::npos)
+                            why = line.substr(sp + 1);
+                        failAttempt(i, why);
+                    }
+                }
+            } else {
+                // EOF/error: the worker exited. Mid-job, that is a
+                // crash — account one failed attempt.
+                const long i = p.job;
+                p.job = -1;
+                reap(p);
+                if (i >= 0)
+                    failAttempt(i, "worker exited unexpectedly");
+            }
+        }
+
+        if (opts.timeoutSeconds > 0) {
+            const auto now = std::chrono::steady_clock::now();
+            for (WorkerProc &p : procs) {
+                if (p.pid < 0 || p.job < 0)
+                    continue;
+                const double elapsed =
+                    std::chrono::duration<double>(now - p.start)
+                        .count();
+                if (elapsed > opts.timeoutSeconds)
+                    kill(p.pid, SIGKILL);    // EOF path accounts it
+            }
+        }
+    }
+
+    for (WorkerProc &p : procs)
+        if (p.pid >= 0)
+            reap(p);
+
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    for (const std::size_t i : pending) {
+        FarmJobOutcome &o = rep.jobs[i];
+        if (!o.ok && !o.quarantined && o.error.empty())
+            o.error = "not dispatched (interrupted)";
+    }
+    fillCycles(rep, store);
+    tallyTotals(rep);
+    return rep;
+}
+
+} // namespace
+
+std::string
+FarmReport::toString(const std::vector<Job> &job_list) const
+{
+    std::string out = strprintf("farm: %d job(s), %d failed\n",
+                                static_cast<int>(job_list.size()),
+                                failed);
+    for (std::size_t i = 0;
+         i < jobs.size() && i < job_list.size(); ++i) {
+        const Job &job = job_list[i];
+        const FarmJobOutcome &o = jobs[i];
+        const std::string what =
+            !job.spec.pipeline.empty()
+                ? job.spec.pipeline
+                : (job.spec.clustered ? "clustered" : "base");
+        std::string status;
+        if (o.ok)
+            status = strprintf(
+                "cycles %llu",
+                static_cast<unsigned long long>(o.cycles));
+        else if (o.quarantined)
+            status = "FAILED (quarantined): " + o.error;
+        else
+            status = "FAILED: " + o.error;
+        out += strprintf("[%d] %-12s scale %d %2dp %-24s %s\n",
+                         static_cast<int>(i), job.workload.c_str(),
+                         job.scale, std::max(job.spec.procs, 1),
+                         what.c_str(), status.c_str());
+    }
+    if (interrupted)
+        out += "farm: interrupted before completion\n";
+    return out;
+}
+
+bool
+parseJobStream(std::istream &in, std::vector<Job> &out,
+               std::string &error)
+{
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        Job job;
+        std::string err;
+        if (!Job::fromJson(line, job, err)) {
+            error = strprintf("line %d: %s", lineno, err.c_str());
+            return false;
+        }
+        out.push_back(job);
+    }
+    return true;
+}
+
+FarmReport
+runFarm(const std::vector<Job> &jobs, ResultStore &store,
+        const FarmOptions &opts)
+{
+    if (opts.inProcess)
+        return runInProcess(jobs, store, opts);
+    return runSubprocess(jobs, store, opts);
+}
+
+int
+farmWorkerMain(const std::string &store_dir)
+{
+    std::signal(SIGINT, SIG_IGN);    // the coordinator manages ^C
+    ResultStore store(store_dir);
+    const char *crash = std::getenv("MPC_FARM_TEST_CRASH");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        Job job;
+        std::string error;
+        if (!Job::fromJson(line, job, error)) {
+            std::printf("err - %s\n", oneLine(error).c_str());
+            std::fflush(stdout);
+            continue;
+        }
+        if (crash != nullptr && crash[0] != '\0' &&
+            job.workload == crash)
+            _exit(42);    // injected crash (farm retry tests)
+        // stdout is the ack channel; jobs never dump IR here.
+        job.spec.dumpIr.clear();
+        if (job.spec.execTier == "interp")
+            kisa::pinExecTier(kisa::ExecTier::Interp);
+        else if (job.spec.execTier == "threaded")
+            kisa::pinExecTier(kisa::ExecTier::Threaded);
+        else
+            kisa::clearExecTierPin();
+        const std::string key = jobKey(job);
+        const JobResult result = runJob(job, &store);
+        if (result.ok)
+            std::printf("ok %s\n", key.c_str());
+        else
+            std::printf("err %s %s\n", key.c_str(),
+                        oneLine(result.error).c_str());
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+} // namespace mpc::harness

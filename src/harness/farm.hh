@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Service layer of the experiment farm: a work-queue runner that
+ * executes a stream of serialized Jobs across worker processes and
+ * writes every completed JobResult to the ResultStore.
+ *
+ * Topology: the coordinator (runFarm) fork/execs `mpcfarm --worker`
+ * processes, each consuming single-line job JSON over its stdin pipe
+ * and answering one ack line ("ok <key>" / "err <key> <reason>") per
+ * job on stdout. Dispatch is demand-driven — a worker gets its next
+ * job the moment it acks the previous one — which is work stealing
+ * with the queue held by the coordinator. Before dispatching, the
+ * coordinator probes the store under the job key, so a resumed sweep
+ * (same job file, store already populated) re-simulates nothing.
+ *
+ * Failure containment:
+ *  - a worker that exits mid-job (crash, OOM kill) or overruns the
+ *    per-job timeout (SIGKILL) costs one attempt; the job is
+ *    re-dispatched up to FarmOptions::retries times, then quarantined
+ *    (recorded under <store>/quarantine/job_<key>.json, reported
+ *    FAILED, never retried again in this run);
+ *  - SIGINT stops dispatching, drains the in-flight jobs (workers
+ *    ignore SIGINT so the terminal's ^C does not kill them mid-write),
+ *    and reports interrupted — rerunning resumes from the store.
+ *
+ * The report's toString() is deterministic (job lines + failure
+ * count): store hit/miss counters are stderr-only, so a cold sweep and
+ * its warm rerun print byte-identical reports.
+ */
+
+#ifndef MPC_HARNESS_FARM_HH
+#define MPC_HARNESS_FARM_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/job.hh"
+#include "harness/store.hh"
+
+namespace mpc::harness
+{
+
+struct FarmOptions
+{
+    /** Worker processes (<= 0: MPC_JOBS, else hardware threads). */
+    int workers = 0;
+    /** Per-job wall-clock timeout in seconds; overruns are SIGKILLed
+     *  and count as a failed attempt. 0 = no timeout. */
+    double timeoutSeconds = 0.0;
+    /** Re-dispatches allowed after a failed attempt (so a job runs at
+     *  most 1 + retries times) before quarantine. */
+    int retries = 1;
+    /**
+     * Stop dispatching after this many jobs have simulated (0 = no
+     * limit) and report interrupted — the test hook that emulates a
+     * mid-sweep kill deterministically.
+     */
+    int maxJobs = 0;
+    /** Run jobs on threads in this process instead of forking workers
+     *  (unit tests; no timeout support). */
+    bool inProcess = false;
+    /** Worker executable (mpcfarm); "" = /proc/self/exe, which is
+     *  correct when the coordinator IS mpcfarm. */
+    std::string workerBinary;
+};
+
+/** Outcome of one job, by job-list index. */
+struct FarmJobOutcome
+{
+    std::string key;        ///< content key (ResultStore address)
+    bool ok = false;
+    bool fromStore = false; ///< served without simulating
+    bool quarantined = false;
+    int attempts = 0;       ///< dispatches (0 for a store hit)
+    std::string error;      ///< last failure reason when !ok
+    Tick cycles = 0;        ///< result cycles when ok
+};
+
+struct FarmReport
+{
+    std::vector<FarmJobOutcome> jobs;
+    int hits = 0;           ///< served from the store
+    int simulated = 0;
+    int failed = 0;
+    bool interrupted = false;
+
+    /** Deterministic per-job table (no store counters, no timing):
+     *  byte-identical between a cold sweep and its warm rerun. */
+    std::string toString(const std::vector<Job> &jobs) const;
+};
+
+/**
+ * Parse a job file / stdin stream: one Job JSON per line, blank lines
+ * and '#' comments skipped. @return false (with @p error naming the
+ * line) on the first malformed job.
+ */
+bool parseJobStream(std::istream &in, std::vector<Job> &out,
+                    std::string &error);
+
+/** Execute @p jobs through @p store (see file comment). */
+FarmReport runFarm(const std::vector<Job> &jobs, ResultStore &store,
+                   const FarmOptions &opts = {});
+
+/** `mpcfarm --worker` entry: job JSONL on stdin, acks on stdout. */
+int farmWorkerMain(const std::string &store_dir);
+
+} // namespace mpc::harness
+
+#endif // MPC_HARNESS_FARM_HH

@@ -50,12 +50,43 @@ configKey(const sys::SystemConfig &config, int procs)
                          static_cast<unsigned long long>(c.hitLatency),
                          static_cast<unsigned long long>(c.fillLatency));
     };
+    const cpu::CoreConfig &core = config.core;
+    const std::string core_key = strprintf(
+        "%d/%d/%d/%d/%d/%d/%d/%d/%llu/%llu/%llu/%llu/%llu/%llu/%llu/"
+        "%d/%d",
+        core.fetchWidth, core.issueWidth, core.retireWidth,
+        core.memQueueSize, core.maxBranches, core.numAlus, core.numFpus,
+        core.numAddrUnits,
+        static_cast<unsigned long long>(core.latIntAlu),
+        static_cast<unsigned long long>(core.latIntMul),
+        static_cast<unsigned long long>(core.latFpArith),
+        static_cast<unsigned long long>(core.latFpDiv),
+        static_cast<unsigned long long>(core.latFpSqrt),
+        static_cast<unsigned long long>(core.latAddrGen),
+        static_cast<unsigned long long>(core.mispredictPenalty),
+        core.predictorEntries, core.storeIssueWidth);
+    const mem::MemBusConfig &bus = config.membus;
+    const std::string bus_key = strprintf(
+        "%d/%d/%llu/%d/%d/%llu", bus.numBanks,
+        static_cast<int>(bus.interleave),
+        static_cast<unsigned long long>(bus.bankAccessLatency),
+        bus.cpuCyclesPerBusCycle, bus.busWidthBytes,
+        static_cast<unsigned long long>(bus.busArbLatency));
     return strprintf(
-        "%s|ns=%.6f|l1=%s|l2=%s|single=%d|win=%d|smp=%d|procs=%d",
+        "%s|ns=%.6f|l1=%s|l2=%s|single=%d|win=%d|smp=%d|procs=%d"
+        "|core=%s|bus=%s|mesh=%d/%d/%d|fab=%d/%llu/%llu|smpbus=%d/%d/"
+        "%llu",
         config.name.c_str(), config.nsPerCycle,
         cache(config.hier.l1).c_str(), cache(config.hier.l2).c_str(),
         config.hier.singleLevel ? 1 : 0, config.core.windowSize,
-        config.smpBus ? 1 : 0, procs);
+        config.smpBus ? 1 : 0, procs, core_key.c_str(),
+        bus_key.c_str(), config.mesh.flitBytes,
+        config.mesh.cpuCyclesPerNetCycle,
+        config.mesh.hopDelayNetCycles, config.fabric.lineBytes,
+        static_cast<unsigned long long>(config.fabric.dirLatency),
+        static_cast<unsigned long long>(config.fabric.probeLatency),
+        config.smp.busWidthBytes, config.smp.cpuCyclesPerBusCycle,
+        static_cast<unsigned long long>(config.smp.arbCycles));
 }
 
 std::uint64_t

@@ -15,9 +15,10 @@
  * and warns on mismatches.
  *
  * configKey() is the single source of truth for "the configuration
- * fields a simulation result depends on"; the autotune cache appends
- * its spec/maxCycles tail to the same string, so cache file names are
- * unchanged from the pre-manifest format.
+ * fields a simulation result depends on"; the Job layer (job.hh)
+ * appends its spec/tier/maxCycles tail to the same string to form
+ * ResultStore content keys, so a config edit anywhere moves every
+ * dependent store key.
  */
 
 #ifndef MPC_HARNESS_MANIFEST_HH

@@ -57,10 +57,17 @@ class ParallelRunner
      * @p wall_seconds, when non-null, is resized to jobs.size() and
      * receives each job's host wall-time by job index — the single
      * timing source the benches report (keyed by label).
+     *
+     * @p retries re-runs a throwing job up to that many extra times on
+     * the same worker before it counts as failed. A job that retries
+     * and then succeeds is NOT a failure: it contributes no failure
+     * count, and its wall_seconds slot settles exactly once, with the
+     * successful attempt's time (failed attempts are not billed).
      */
     void run(const std::vector<std::function<void()>> &jobs,
              const std::vector<std::string> &labels = {},
-             std::vector<double> *wall_seconds = nullptr) const;
+             std::vector<double> *wall_seconds = nullptr,
+             int retries = 0) const;
 
   private:
     int threads_;
@@ -83,6 +90,9 @@ struct PairJob
     workloads::Workload workload;
     sys::SystemConfig config;
     int procs = 1;
+    /** Size scale the workload was built with (job-key input on the
+     *  store-backed path; see harness/job.hh). */
+    int scale = 2;
 };
 
 /** PairResult plus per-run host timings. */
@@ -96,6 +106,13 @@ struct TimedPairResult
 /**
  * Run the base and clustered sims of every job concurrently (two
  * independent tasks per pair). Results come back in job order.
+ *
+ * When MPC_STORE names a ResultStore (and no validation/observability
+ * env gate forces real simulation — harness::storeEligible), each run
+ * is served from the store when present and published to it when not,
+ * and hit/miss counters print to stderr. Stdout derived from the
+ * results is byte-identical warm or cold; warm runs report ~zero wall
+ * time for served sims.
  */
 std::vector<TimedPairResult>
 runPairsParallel(const std::vector<PairJob> &jobs, int threads = 0);

@@ -1,0 +1,171 @@
+#include "harness/store.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace mpc::harness
+{
+
+namespace
+{
+
+/** Process-unique temp-file counter (pid alone is not enough: several
+ *  ResultStore instances and threads share one process). */
+std::atomic<unsigned> tempCounter{0};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        fatal("ResultStore: empty directory");
+    while (dir_.size() > 1 && dir_.back() == '/')
+        dir_.pop_back();
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::fromEnv()
+{
+    const char *dir = std::getenv("MPC_STORE");
+    if (dir == nullptr || dir[0] == '\0')
+        return nullptr;
+    return std::make_unique<ResultStore>(dir);
+}
+
+bool
+ResultStore::validKey(const std::string &key)
+{
+    if (key.size() < 8)
+        return false;
+    for (const char c : key) {
+        const bool hex =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex)
+            return false;
+    }
+    return true;
+}
+
+std::string
+ResultStore::pathFor(const std::string &key) const
+{
+    if (!validKey(key))
+        fatal("ResultStore: invalid key '%s'", key.c_str());
+    return dir_ + "/" + key.substr(0, 2) + "/" + key.substr(2, 2) +
+           "/" + key + ".json";
+}
+
+bool
+ResultStore::get(const std::string &key, std::string &value)
+{
+    const std::string path = pathFor(key);
+    std::string text;
+    if (!readFile(path, text)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    }
+    json::Value root;
+    if (text.empty() || !json::parse(text, root) ||
+        root.t != json::Value::T::Obj) {
+        quarantine(key);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    }
+    value = std::move(text);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return true;
+}
+
+bool
+ResultStore::put(const std::string &key, const std::string &value)
+{
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        return false;
+    // Unique temp name in the final directory so rename() stays within
+    // one filesystem and is atomic.
+    const std::string tmp = strprintf(
+        "%s.tmp.%d.%u", path.c_str(), static_cast<int>(getpid()),
+        tempCounter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << value;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+    return true;
+}
+
+void
+ResultStore::quarantine(const std::string &key)
+{
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return;
+    const std::string qdir = dir_ + "/quarantine";
+    fs::create_directories(qdir, ec);
+    std::string dst = qdir + "/" + key + ".json";
+    for (int n = 1; fs::exists(dst, ec); ++n)
+        dst = strprintf("%s/%s.%d.json", qdir.c_str(), key.c_str(), n);
+    std::error_code rename_ec;
+    fs::rename(path, dst, rename_ec);
+    if (rename_ec) {
+        // Cross-device or racing quarantine: fall back to removing the
+        // bad entry so it cannot be served again.
+        fs::remove(path, rename_ec);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.bad;
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace mpc::harness

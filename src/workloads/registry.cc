@@ -41,4 +41,15 @@ makeByName(const std::string &name, const SizeParams &size)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+isKnownWorkload(const std::string &name)
+{
+    for (const char *known :
+         {"latbench", "em3d", "erlebacher", "fft", "lu", "mp3d", "mst",
+          "ocean"})
+        if (name == known)
+            return true;
+    return false;
+}
+
 } // namespace mpc::workloads

@@ -90,6 +90,9 @@ std::vector<Workload> makeAllApps(const SizeParams &size = {});
 /** Factory by name ("latbench", "em3d", ..., "ocean"). */
 Workload makeByName(const std::string &name, const SizeParams &size = {});
 
+/** True when makeByName() knows @p name (it fatals otherwise). */
+bool isKnownWorkload(const std::string &name);
+
 // --- small IR construction helpers shared by the builders -----------
 
 /** Variadic subscript vector builder. */

@@ -347,6 +347,69 @@ TEST(ParallelRunner, ReportsPerJobWallTimes)
     }
 }
 
+TEST(ParallelRunner, RetriedThenSucceededJobIsNotAFailure)
+{
+    // Satellite regression (PR 7 accounting): a job that throws once
+    // and succeeds on retry must not surface as a failure, and its
+    // wall slot must settle exactly once — with the successful
+    // attempt's time, not the sum over attempts.
+    const std::size_t n = 4;
+    std::vector<std::atomic<int>> attempts(n);
+    std::vector<std::function<void()>> jobs;
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < n; ++i) {
+        labels.push_back("flaky-" + std::to_string(i));
+        jobs.push_back([&attempts, i] {
+            // Jobs 1 and 3 fail on their first attempt only.
+            if (++attempts[i] == 1 && (i % 2) == 1)
+                throw std::runtime_error("transient fault");
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        });
+    }
+    std::vector<double> wall;
+    // Must NOT throw: every job eventually succeeded.
+    ParallelRunner(2).run(jobs, labels, &wall, /*retries=*/1);
+    ASSERT_EQ(wall.size(), n);
+    EXPECT_EQ(attempts[1].load(), 2);
+    EXPECT_EQ(attempts[3].load(), 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Each slot carries one successful attempt's sleep-bounded
+        // time — roughly one 5ms sleep, never a two-attempt sum with
+        // zero left behind.
+        EXPECT_GE(wall[i], 0.004) << i;
+        EXPECT_LT(wall[i], 1.0) << i;
+    }
+}
+
+TEST(ParallelRunner, RetriesExhaustedStillCountsOneFailure)
+{
+    std::vector<std::atomic<int>> attempts(3);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < 3; ++i)
+        jobs.push_back([&attempts, i] {
+            ++attempts[i];
+            if (i == 0)
+                throw std::runtime_error("permanent fault");
+        });
+    std::vector<double> wall;
+    try {
+        ParallelRunner(1).run(jobs, {}, &wall, /*retries=*/2);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        // One failure — not one per attempt.
+        EXPECT_NE(what.find("1 of 3 jobs failed"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("permanent fault"), std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(attempts[0].load(), 3);   // 1 + retries attempts
+    EXPECT_EQ(attempts[1].load(), 1);
+    EXPECT_EQ(attempts[2].load(), 1);
+    ASSERT_EQ(wall.size(), 3u);
+    EXPECT_EQ(wall[0], 0.0);
+}
+
 namespace
 {
 

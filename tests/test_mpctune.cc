@@ -16,6 +16,8 @@
 
 #include "common/json.hh"
 #include "harness/autotune.hh"
+#include "harness/job.hh"
+#include "harness/store.hh"
 #include "transform/driver.hh"
 #include "transform/pipeline.hh"
 #include "workloads/workload.hh"
@@ -40,7 +42,29 @@ uniOptions()
     opts.procs = 1;
     opts.simBudget = 3;
     opts.threads = 2;
+    opts.scale = 1;
     return opts;
+}
+
+/** Store entry files under @p dir, excluding the quarantine/ area. */
+std::vector<std::filesystem::path>
+storeEntries(const std::string &dir)
+{
+    std::vector<std::filesystem::path> files;
+    const std::filesystem::path quarantine =
+        std::filesystem::path(dir) / "quarantine";
+    for (auto it =
+             std::filesystem::recursive_directory_iterator(dir);
+         it != std::filesystem::recursive_directory_iterator(); ++it) {
+        if (it->path() == quarantine) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() &&
+            it->path().extension() == ".json")
+            files.push_back(it->path());
+    }
+    return files;
 }
 
 TEST(Fnv1a, MatchesReferenceVectorsAndSeparatesInputs)
@@ -72,27 +96,30 @@ TEST(CandidateSpecs, HandSpecFirstAndGridIsDeduplicated)
     EXPECT_GE(specs.size(), 8u);
 }
 
-TEST(CacheKey, StableAcrossCallsAndSensitiveToInputs)
+TEST(CacheKey, TuneMeasurementsKeyLikeAnyOtherJob)
 {
+    // The tuner's cache lives in the shared ResultStore, keyed by the
+    // same jobKeyFor() composition every farm job uses — so a tune and
+    // a sweep of the same (workload, config, spec) share results.
     const workloads::Workload w = workloads::makeEm3d(tinySize());
-    const sys::SystemConfig config = sys::baseConfig();
-    const std::string spec = "fuse,cluster(maxDegree=8)";
-    const Tick cap = Tick(1) << 36;
+    RunSpec spec;
+    spec.pipeline = "fuse,cluster(maxDegree=8)";
 
-    const std::string name =
-        cacheFileName(w.kernel, config, 1, spec, cap);
-    EXPECT_EQ(name, cacheFileName(w.kernel, config, 1, spec, cap));
-    EXPECT_EQ(name.rfind("tune_", 0), 0u) << name;
-    EXPECT_EQ(name.substr(name.size() - 5), ".json");
+    const std::string key = jobKeyFor(w, spec, 1);
+    EXPECT_EQ(key, jobKeyFor(w, spec, 1));
+    EXPECT_TRUE(ResultStore::validKey(key));
 
     // Any ingredient change must move the key.
-    EXPECT_NE(name, cacheFileName(w.kernel, config, 2, spec, cap));
-    EXPECT_NE(name, cacheFileName(w.kernel, config, 1,
-                                  "fuse,cluster(maxDegree=4)", cap));
-    EXPECT_NE(name,
-              cacheFileName(w.kernel, config, 1, spec, Tick(1) << 20));
-    const workloads::Workload other = workloads::makeFft(tinySize());
-    EXPECT_NE(name, cacheFileName(other.kernel, config, 1, spec, cap));
+    RunSpec other = spec;
+    other.procs = 2;
+    EXPECT_NE(key, jobKeyFor(w, other, 1));
+    other = spec;
+    other.pipeline = "fuse,cluster(maxDegree=4)";
+    EXPECT_NE(key, jobKeyFor(w, other, 1));
+    other = spec;
+    other.maxCycles = Tick(1) << 20;
+    EXPECT_NE(key, jobKeyFor(w, other, 1));
+    EXPECT_NE(key, jobKeyFor(workloads::makeFft(tinySize()), spec, 1));
 }
 
 TEST(Tune, WinnerMeasuredAndNoWorseThanHandSpec)
@@ -145,7 +172,7 @@ TEST(Tune, WarmCacheServesEveryMeasurementWithIdenticalReport)
     std::filesystem::remove_all(opts.cacheDir);
 }
 
-TEST(Tune, CacheEntriesCarryByteStableManifestProvenance)
+TEST(Tune, StoreEntriesCarryByteStableManifestProvenance)
 {
     const workloads::Workload w = workloads::makeEm3d(tinySize());
     TuneOptions opts = uniOptions();
@@ -153,21 +180,23 @@ TEST(Tune, CacheEntriesCarryByteStableManifestProvenance)
     std::filesystem::remove_all(opts.cacheDir);
     tune(w, opts);
 
+    // The producing run's manifest hashes the config the simulator
+    // actually ran: opts.config scaled to the workload's input.
     const std::string expect_hash =
-        json::hex64(configHash(opts.config, 1));
+        json::hex64(configHash(scaleConfig(opts.config, w), 1));
     int entries = 0;
-    for (const auto &ent :
-         std::filesystem::directory_iterator(opts.cacheDir)) {
-        std::ifstream in(ent.path());
+    for (const auto &path : storeEntries(opts.cacheDir)) {
+        std::ifstream in(path);
         std::stringstream ss;
         ss << in.rdbuf();
         json::Value root;
-        ASSERT_TRUE(json::parse(ss.str(), root)) << ent.path();
+        ASSERT_TRUE(json::parse(ss.str(), root)) << path;
+        EXPECT_EQ(json::strField(root, "schema"), "mpc-jobresult-v1");
         const json::Value *man = root.field("manifest");
-        ASSERT_NE(man, nullptr) << ent.path();
+        ASSERT_NE(man, nullptr) << path;
         EXPECT_EQ(json::strField(*man, "schema"), "mpc-manifest-v1");
         EXPECT_EQ(json::strField(*man, "workload"), w.name);
-        // Host must be blanked: cache entries are byte-stable across
+        // Host must be blanked: store entries are byte-stable across
         // machines.
         EXPECT_EQ(json::strField(*man, "host"), "");
         EXPECT_EQ(json::strField(*man, "configHash"), expect_hash);
@@ -176,6 +205,48 @@ TEST(Tune, CacheEntriesCarryByteStableManifestProvenance)
         ++entries;
     }
     EXPECT_GT(entries, 0);
+    std::filesystem::remove_all(opts.cacheDir);
+}
+
+TEST(Tune, CorruptedStoreEntryIsQuarantinedAndRepairedNotFatal)
+{
+    // Satellite regression: a truncated or hand-edited cache entry
+    // used to reach the JSON parser unguarded. Under ResultStore it
+    // must read as a miss, get quarantined, and be re-simulated —
+    // with the report still byte-identical.
+    const workloads::Workload w = workloads::makeEm3d(tinySize());
+    TuneOptions opts = uniOptions();
+    opts.cacheDir = testing::TempDir() + "mpctune_corrupt_cache";
+    std::filesystem::remove_all(opts.cacheDir);
+
+    const TuneReport cold = tune(w, opts);
+    const auto entries = storeEntries(opts.cacheDir);
+    ASSERT_FALSE(entries.empty());
+    {
+        // Truncate one entry mid-token; hand-edit another into valid
+        // JSON of the wrong shape.
+        std::ofstream truncated(entries.front(), std::ios::trunc);
+        truncated << "{\"schema\": \"mpc-jobresult-v1\", \"ok\": tru";
+    }
+    if (entries.size() > 1) {
+        std::ofstream edited(entries.back(), std::ios::trunc);
+        edited << "{\"schema\": \"something-else\"}\n";
+    }
+
+    const TuneReport repaired = tune(w, opts);
+    EXPECT_EQ(repaired.toString(), cold.toString());
+    EXPECT_EQ(repaired.toJson(), cold.toJson());
+    // The damaged entries were misses (re-simulated), the rest hits.
+    const int damaged = entries.size() > 1 ? 2 : 1;
+    EXPECT_EQ(repaired.cacheMisses, damaged);
+    EXPECT_EQ(repaired.cacheHits,
+              static_cast<int>(entries.size()) - damaged);
+    // Evidence preserved, slots repaired.
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(opts.cacheDir) / "quarantine"));
+    const TuneReport warm = tune(w, opts);
+    EXPECT_EQ(warm.cacheMisses, 0);
+
     std::filesystem::remove_all(opts.cacheDir);
 }
 

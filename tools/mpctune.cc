@@ -11,8 +11,10 @@
  *   --config NAME    base | 1ghz | exemplar (default base)
  *   --budget N       candidates simulated after model pruning
  *                    (default 8)
- *   --cache DIR      on-disk result cache; reruns with the same
- *                    kernel/config/spec never re-simulate (default:
+ *   --cache DIR      content-addressed ResultStore directory
+ *                    (harness/store.hh); reruns with the same
+ *                    kernel/config/spec never re-simulate, and the
+ *                    store is shared with mpcfarm sweeps (default:
  *                    off)
  *   --json PREFIX    write MPCTUNE_<workload>.json under PREFIX
  *                    (a directory; default: off)
@@ -139,6 +141,7 @@ main(int argc, char **argv)
     opts.simBudget = budget;
     opts.cacheDir = cache_dir;
     opts.threads = jobs;
+    opts.scale = size.scale;
     if (!json_prefix.empty())
         std::filesystem::create_directories(json_prefix);
 
