@@ -1,0 +1,157 @@
+#include "system/shard.hh"
+
+#include <algorithm>
+
+namespace mpc::sys
+{
+
+std::vector<char>
+syncReachability(const kisa::Program &program, int fetch_width)
+{
+    const int n = static_cast<int>(program.code.size());
+    // dist[pc] = fewest instructions along any control-flow path from
+    // pc (inclusive) to a Barrier/FlagWait; kUnreach if none. A fetch
+    // group starting at pc can hand a sync op to dispatch this tick iff
+    // dist[pc] <= fetch_width - 1 positions away, i.e. dist < width.
+    constexpr int kUnreach = 1 << 20;
+    std::vector<int> dist(static_cast<size_t>(n), kUnreach);
+    // Successor distances only ever shrink, and every relaxation drops
+    // a dist by >= 1, so fetch_width sweeps reach the fixed point for
+    // every pc that matters (dist values above fetch_width are
+    // indistinguishable from unreachable).
+    for (int sweep = 0; sweep < fetch_width; ++sweep) {
+        bool changed = false;
+        for (int pc = n - 1; pc >= 0; --pc) {
+            const kisa::Instr &in =
+                program.code[static_cast<size_t>(pc)];
+            int d;
+            if (in.op == kisa::Op::Barrier ||
+                in.op == kisa::Op::FlagWait) {
+                d = 0;
+            } else if (in.op == kisa::Op::Halt) {
+                d = kUnreach;
+            } else {
+                int succ = kUnreach;
+                auto look = [&](int t) {
+                    if (t >= 0 && t < n)
+                        succ = std::min(succ,
+                                        dist[static_cast<size_t>(t)]);
+                };
+                if (in.op == kisa::Op::Jmp) {
+                    look(in.target);
+                } else {
+                    look(pc + 1);
+                    if (program.meta[static_cast<size_t>(pc)].isBranch)
+                        look(in.target);
+                }
+                d = succ >= kUnreach ? kUnreach : succ + 1;
+            }
+            if (d < dist[static_cast<size_t>(pc)]) {
+                dist[static_cast<size_t>(pc)] = d;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    std::vector<char> reach(static_cast<size_t>(n), 0);
+    for (int pc = 0; pc < n; ++pc)
+        reach[static_cast<size_t>(pc)] =
+            dist[static_cast<size_t>(pc)] < fetch_width ? 1 : 0;
+    return reach;
+}
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Bounded spin, then OS yield. Phases are ~1µs apart so the spin wins
+ * when every shard has its own hardware thread; the yield fallback
+ * keeps oversubscribed hosts (shards × jobs > hardware threads, or a
+ * single-CPU machine) making forward progress at scheduler speed
+ * instead of burning whole timeslices in the barrier.
+ */
+class Backoff
+{
+  public:
+    void
+    pause()
+    {
+        if (++spins_ < 256)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+
+  private:
+    int spins_ = 0;
+};
+
+} // namespace
+
+ShardGroup::ShardGroup(int shards, std::function<void(int)> work)
+    : shards_(shards), work_(std::move(work))
+{
+    workers_.reserve(static_cast<size_t>(shards_ - 1));
+    for (int s = 1; s < shards_; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardGroup::~ShardGroup()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    // Release the workers from their epoch spin so they observe stop_.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ShardGroup::runPhase()
+{
+    done_.store(0, std::memory_order_relaxed);
+    // acq_rel: publishes thread 0's pre-phase writes to the workers
+    // (they acquire-load epoch_) and orders the done_ reset first.
+    const std::uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    (void)epoch;
+
+    work_(0);
+
+    // acquire: pulls in every worker's phase writes (they release via
+    // done_.fetch_add) before thread 0 touches shared state again.
+    Backoff backoff;
+    while (done_.load(std::memory_order_acquire) < shards_ - 1)
+        backoff.pause();
+}
+
+void
+ShardGroup::workerLoop(int shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Backoff backoff;
+        while (epoch_.load(std::memory_order_acquire) == seen)
+            backoff.pause();
+        ++seen;
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        work_(shard);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+} // namespace mpc::sys

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharded multiprocessor stepping support: the shard partition plan,
+ * the static sync-reachability table that decides which stepped cycles
+ * must serialize, and the spin-barrier worker group that runs the
+ * parallel core-tick phase.
+ *
+ * Design (INTERNALS.md §16). The single-thread stepper's loop is, per
+ * stepped cycle: drain events, then tick cores in node order. Sharded
+ * mode keeps the event drain (and every coherence-directory mutation)
+ * serial on thread 0 and parallelizes only the core ticks: node
+ * [first(s), first(s+1)) ticks on host thread s. Anything a tick does
+ * that could touch cross-shard state — scheduling an event on the
+ * shared queue, or calling into the coherence fabric — is captured in
+ * the shard's mailbox (mem::EventQueue::DeferBuffer) and replayed by
+ * thread 0 at the barrier, in shard order. Because shards hold
+ * contiguous node ranges and tick them in node order, replaying
+ * mailbox 0..k-1 reproduces exactly the (tick, node id, per-node
+ * program order) sequence the single-thread stepper produces, global
+ * sequence numbers included.
+ *
+ * The one interaction that cannot be deferred is synchronization:
+ * barrier arrivals release other cores synchronously within the same
+ * cycle, and a FlagWait polls shared functional memory every cycle.
+ * Those cycles are detected *before* the phase — a core is a sync
+ * hazard if it is parked on a FlagWait or if a Barrier/FlagWait is
+ * within one fetch group of its next pc (static reachability over the
+ * program's control flow) — and hazard cycles run the plain serial
+ * tick loop instead. Sync cycles are a vanishing fraction of stepped
+ * cycles, so the fast path stays parallel.
+ */
+
+#ifndef MPC_SYSTEM_SHARD_HH
+#define MPC_SYSTEM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "kisa/program.hh"
+
+namespace mpc::sys
+{
+
+/**
+ * Contiguous node partition: shard s owns nodes
+ * [first(s), first(s+1)); shards differ in size by at most one node.
+ */
+class ShardPlan
+{
+  public:
+    ShardPlan(int num_nodes, int shards)
+        : first_(static_cast<size_t>(shards) + 1)
+    {
+        for (int s = 0; s <= shards; ++s)
+            first_[static_cast<size_t>(s)] = static_cast<int>(
+                static_cast<std::int64_t>(num_nodes) * s / shards);
+    }
+
+    int shards() const { return static_cast<int>(first_.size()) - 1; }
+    int first(int s) const { return first_[static_cast<size_t>(s)]; }
+    int
+    shardOf(int node) const
+    {
+        for (int s = 0; s < shards(); ++s)
+            if (node < first(s + 1))
+                return s;
+        return shards() - 1;
+    }
+
+  private:
+    std::vector<int> first_;
+};
+
+/**
+ * Per-pc table: true if a Barrier or FlagWait can dispatch within the
+ * same tick a core fetches from pc — i.e. lies within @p fetch_width
+ * instructions along any control-flow path from pc. Conservative
+ * (ignores dispatch gating), which only ever serializes extra cycles.
+ * One entry per instruction; index with the core's fetchPc().
+ */
+std::vector<char> syncReachability(const kisa::Program &program,
+                                   int fetch_width);
+
+/**
+ * A fixed group of spinning worker threads executing one phase
+ * function per barrier epoch: runPhase() makes every shard s in
+ * [0, shards) execute work(s) — shard 0 on the calling thread — and
+ * returns when all have finished. Workers busy-spin between phases
+ * (phases are ~1µs apart; parking would dominate the step cost), so
+ * the host-thread budget must account for shards × jobs
+ * (harness::ParallelRunner does).
+ */
+class ShardGroup
+{
+  public:
+    /** @p work runs concurrently as work(s) for every shard s. */
+    ShardGroup(int shards, std::function<void(int)> work);
+    ~ShardGroup();
+
+    ShardGroup(const ShardGroup &) = delete;
+    ShardGroup &operator=(const ShardGroup &) = delete;
+
+    /** Execute one phase on all shards; returns after all finish.
+     *  Writes made before runPhase() are visible to every shard, and
+     *  every shard's writes are visible after it returns. */
+    void runPhase();
+
+  private:
+    void workerLoop(int shard);
+
+    const int shards_;
+    std::function<void(int)> work_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<int> done_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> workers_;
+};
+
+} // namespace mpc::sys
+
+#endif // MPC_SYSTEM_SHARD_HH
